@@ -1,0 +1,37 @@
+"""E1 — ATPG summary table.
+
+Claim (tutorial: "DFT technologies" / ATPG basics): deterministic ATPG with
+a random-pattern warm-up reaches ~100 % coverage of testable stuck-at
+faults with a compact pattern set, across circuit styles, and the
+deterministic phase is what closes the gap the random phase leaves.
+
+Regenerates: one row per benchmark circuit with pattern count, fault
+counts, fault/test coverage, untestable/aborted counts, and CPU time.
+"""
+
+from repro.atpg import atpg_table_row, run_atpg
+from repro.circuit import benchmarks
+
+from .util import print_table, run_once
+
+CIRCUITS = ["c17", "s27", "add8", "mul4", "mul8", "alu8", "mac4", "pe4", "rand200"]
+
+
+def _run_all():
+    rows = []
+    for name in CIRCUITS:
+        netlist = benchmarks.get_benchmark(name)
+        result = run_atpg(netlist, seed=1)
+        rows.append(atpg_table_row(netlist, result))
+    return rows
+
+
+def test_e1_atpg_summary(benchmark):
+    rows = run_once(benchmark, _run_all)
+    print_table("E1: ATPG summary (stuck-at)", rows)
+    for row in rows:
+        assert row["test_coverage"] >= 0.75
+    # The non-random circuits should all close to 100 % test coverage.
+    for row in rows:
+        if not str(row["circuit"]).startswith("rand"):
+            assert row["test_coverage"] == 1.0

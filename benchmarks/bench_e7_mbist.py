@@ -1,0 +1,44 @@
+"""E7 — Table: March algorithm x memory-fault-model coverage matrix.
+
+Claim (tutorial's MBIST section, standard memory-test theory): MATS-class
+tests catch stuck-at and address faults but miss transition/coupling
+faults; March C- covers the full unlinked SAF/TF/CF set at 10N cost.  Cost
+grows linearly with complexity — the coverage/cost trade the MBIST
+controller designer makes for the accelerator's big SRAMs.
+
+Regenerates: the detection-rate matrix over sampled fault populations plus
+the per-algorithm operation cost on a 4 Kbit array.
+"""
+
+from repro.bist.march import ALL_MARCH_TESTS, operation_count
+from repro.bist.mbist import coverage_matrix
+
+from .util import print_table, run_once
+
+N_CELLS = 64
+SAMPLES = 40
+
+
+def _run():
+    return coverage_matrix(n_cells=N_CELLS, samples_per_kind=SAMPLES, seed=1)
+
+
+def test_e7_march_matrix(benchmark):
+    matrix = run_once(benchmark, _run)
+    rows = []
+    for test in ALL_MARCH_TESTS:
+        row = {"algorithm": test.name, "cost": f"{test.complexity}N"}
+        row.update(
+            {kind: cell.rate for kind, cell in matrix[test.name].items()}
+        )
+        row["ops_4kbit"] = operation_count(test, 4096)
+        rows.append(row)
+    print_table("E7: March coverage matrix", rows)
+
+    c_minus = matrix["March C-"]
+    assert all(cell.rate == 1.0 for cell in c_minus.values())
+    assert matrix["MATS"]["CFid"].rate < 0.5
+    assert matrix["MATS"]["TF"].rate < matrix["MATS++"]["TF"].rate
+    # Cost ordering matches complexity ordering.
+    costs = [operation_count(t, 4096) for t in ALL_MARCH_TESTS]
+    assert costs == sorted(costs)

@@ -1,0 +1,56 @@
+"""E9 — Figure: NN inference accuracy vs PE fault count, +map-out.
+
+Claim (the tutorial's "DFT on real AI chips" case study): random PE
+defects degrade quantized-inference accuracy with wide variance (some
+faults are benign, high-order stuck bits are catastrophic); after test
+locates the faulty PEs and the rows are mapped out, accuracy returns to
+the clean level while throughput drops by the lost-row fraction —
+yield-saving graceful degradation.
+
+Regenerates: the accuracy/cycles series over fault counts, before and
+after map-out, plus the PE screen's detection rate.
+"""
+
+from repro.aichip.fault_effects import accuracy_fault_sweep, detection_is_complete
+from repro.aichip.nn import trained_reference_model
+
+from .util import print_series, run_once
+
+FAULT_COUNTS = (0, 1, 2, 4, 8, 16)
+
+
+def _run():
+    fixture = trained_reference_model()
+    sweep = accuracy_fault_sweep(
+        fault_counts=FAULT_COUNTS, model_fixture=fixture, seed=9
+    )
+    detection = detection_is_complete(trials=25, seed=2)
+    return sweep, detection
+
+
+def test_e9_accuracy_vs_faults(benchmark):
+    sweep, detection = run_once(benchmark, _run)
+    points = [
+        {
+            "pe_faults": p.n_faults,
+            "accuracy": p.accuracy,
+            "acc_after_mapout": p.accuracy_after_mapout,
+            "cycles": p.cycles,
+            "cycles_after_mapout": p.cycles_after_mapout,
+        }
+        for p in sweep.points
+    ]
+    print_series("E9: inference accuracy vs PE faults", points)
+    print(f"PE screen detection rate: {detection['detection_rate']:.2f}")
+
+    assert sweep.quantized_accuracy > 0.9
+    assert detection["detection_rate"] >= 0.95
+    clean = sweep.points[0]
+    survivors = [p for p in sweep.points if p.cycles_after_mapout > 0]
+    assert len(survivors) >= len(sweep.points) - 1  # 16 faults may kill all rows
+    for point in survivors:
+        # Map-out restores accuracy to near-clean...
+        assert point.accuracy_after_mapout >= sweep.quantized_accuracy - 0.05
+        # ...at a throughput cost once faults exist.
+        if point.n_faults >= 4:
+            assert point.cycles_after_mapout > clean.cycles

@@ -1,0 +1,46 @@
+"""Shared helpers for the experiment benchmarks (E1-E10).
+
+Each ``bench_eN_*.py`` regenerates one table or figure from EXPERIMENTS.md:
+the measurement runs once under ``benchmark.pedantic`` (so pytest-benchmark
+records wall time without re-running a multi-second experiment dozens of
+times) and the rows print to stdout in a fixed-width table for comparison
+against the recorded results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def print_table(title: str, rows: Sequence[Dict[str, object]]) -> None:
+    """Render a list of dict rows as an aligned text table."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(_fmt(row.get(column))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns))
+
+
+def print_series(title: str, points: Sequence[Dict[str, object]]) -> None:
+    """Render a figure's (x, y, ...) series."""
+    print_table(title, points)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

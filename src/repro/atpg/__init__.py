@@ -1,0 +1,49 @@
+"""Test generation: PODEM, random/weighted patterns, compaction, TDF ATPG."""
+
+from .compaction import (
+    care_bit_stats,
+    cubes_compatible,
+    merge_cubes,
+    reverse_order_compact,
+    static_compact,
+)
+from .engine import AtpgResult, atpg_table_row, run_atpg, x_fill
+from .podem import Podem, PodemResult
+from .random_gen import exhaustive_patterns, random_patterns, weighted_random_patterns
+from .scoap import Testability, compute_testability, hardest_lines
+from .tdf import TdfAtpgResult, random_loc_pairs, run_tdf_atpg
+from .timeframe import (
+    SequentialAtpgResult,
+    UnrolledModel,
+    map_fault_to_frame,
+    run_sequential_atpg,
+    unroll,
+)
+
+__all__ = [
+    "Podem",
+    "PodemResult",
+    "run_atpg",
+    "AtpgResult",
+    "atpg_table_row",
+    "x_fill",
+    "random_patterns",
+    "weighted_random_patterns",
+    "exhaustive_patterns",
+    "static_compact",
+    "cubes_compatible",
+    "merge_cubes",
+    "reverse_order_compact",
+    "care_bit_stats",
+    "compute_testability",
+    "Testability",
+    "hardest_lines",
+    "run_tdf_atpg",
+    "TdfAtpgResult",
+    "random_loc_pairs",
+    "unroll",
+    "UnrolledModel",
+    "map_fault_to_frame",
+    "run_sequential_atpg",
+    "SequentialAtpgResult",
+]

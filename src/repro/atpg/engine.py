@@ -1,0 +1,229 @@
+"""Top-level ATPG flow: random phase + deterministic PODEM top-off.
+
+The production recipe the tutorial describes:
+
+1. collapse the stuck-at universe,
+2. burn down easy faults with random patterns (cheap, massively effective
+   early — each 64-pattern word is one PPSFP pass),
+3. run PODEM on every survivor, fault-simulating each new test against the
+   remaining list so one deterministic pattern usually kills several faults
+   (dynamic compaction through fault dropping),
+4. optionally statically compact the deterministic cubes, X-fill, and
+   verify final coverage with one more fault-simulation pass.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..circuit.netlist import Netlist
+from ..circuit.values import X
+from ..faults.collapse import collapse_faults
+from ..faults.model import StuckAtFault
+from ..faults.stuck_at import full_fault_list
+from ..sim.faultsim import FaultSimulator
+from .compaction import care_bit_stats, static_compact
+from .podem import Podem
+from .random_gen import random_patterns
+
+
+def x_fill(cube: Sequence[int], rng: random.Random, mode: str = "random") -> List[int]:
+    """Fill a cube's X positions: ``random``, ``zero``, ``one``, ``repeat``.
+
+    ``repeat`` copies the previous specified bit (reduces shift power in
+    scan chains — the fill commercial tools call "adjacent fill").
+    """
+    filled: List[int] = []
+    last = 0
+    for value in cube:
+        if value != X:
+            filled.append(value)
+            last = value
+        elif mode == "random":
+            bit = rng.randint(0, 1)
+            filled.append(bit)
+            last = bit
+        elif mode == "zero":
+            filled.append(0)
+        elif mode == "one":
+            filled.append(1)
+        elif mode == "repeat":
+            filled.append(last)
+        else:
+            raise ValueError(f"unknown fill mode {mode!r}")
+    return filled
+
+
+@dataclass
+class AtpgResult:
+    """Everything the flow produced, plus bookkeeping for the E1 table."""
+
+    patterns: List[List[int]] = field(default_factory=list)
+    cubes: List[List[int]] = field(default_factory=list)
+    total_faults: int = 0
+    detected_random: int = 0
+    detected_deterministic: int = 0
+    untestable: List[StuckAtFault] = field(default_factory=list)
+    aborted: List[StuckAtFault] = field(default_factory=list)
+    consistency_errors: List[StuckAtFault] = field(default_factory=list)
+    random_pattern_count: int = 0
+    cpu_seconds: float = 0.0
+
+    @property
+    def detected(self) -> int:
+        return self.detected_random + self.detected_deterministic
+
+    @property
+    def fault_coverage(self) -> float:
+        """Detected / all faults."""
+        if self.total_faults == 0:
+            return 1.0
+        return self.detected / self.total_faults
+
+    @property
+    def test_coverage(self) -> float:
+        """Detected / (all faults − proven untestable)."""
+        testable = self.total_faults - len(self.untestable)
+        if testable <= 0:
+            return 1.0
+        return self.detected / testable
+
+    def summary(self) -> Dict[str, object]:
+        summary: Dict[str, object] = {
+            "patterns": len(self.patterns),
+            "faults": self.total_faults,
+            "fault_coverage": round(self.fault_coverage, 4),
+            "test_coverage": round(self.test_coverage, 4),
+            "untestable": len(self.untestable),
+            "aborted": len(self.aborted),
+            "random_patterns": self.random_pattern_count,
+            "cpu_s": round(self.cpu_seconds, 3),
+        }
+        if self.consistency_errors:
+            summary["consistency_errors"] = len(self.consistency_errors)
+        return summary
+
+
+def run_atpg(
+    netlist: Netlist,
+    faults: Optional[Sequence[StuckAtFault]] = None,
+    random_batches: int = 8,
+    min_batch_yield: int = 1,
+    backtrack_limit: int = 64,
+    fill_mode: str = "random",
+    compact: bool = True,
+    seed: int = 0,
+) -> AtpgResult:
+    """Run the full stuck-at ATPG flow on ``netlist``.
+
+    ``random_batches`` bounds the random phase (64 patterns per batch); the
+    phase also stops early when a batch detects fewer than
+    ``min_batch_yield`` new faults.  Deterministic cubes are statically
+    compacted when ``compact`` is set, then X-filled with ``fill_mode``.
+    """
+    start = time.perf_counter()
+    netlist.finalize()
+    if faults is None:
+        faults, _ = collapse_faults(netlist, full_fault_list(netlist))
+    simulator = FaultSimulator(netlist)
+    rng = random.Random(seed)
+    result = AtpgResult(total_faults=len(faults))
+    remaining = list(faults)
+    n_inputs = simulator.view.num_inputs
+
+    # ------------------------------------------------------------------
+    # Phase 1: random patterns with fault dropping.
+    # ------------------------------------------------------------------
+    kept_patterns: List[List[int]] = []
+    for batch in range(random_batches):
+        if not remaining:
+            break
+        batch_patterns = random_patterns(n_inputs, 64, seed=seed * 1000 + batch)
+        sim = simulator.simulate(batch_patterns, remaining, drop=True)
+        if sim.detected:
+            used = sorted(set(sim.detected.values()))
+            kept_patterns.extend(batch_patterns[index] for index in used)
+            result.detected_random += len(sim.detected)
+            remaining = [f for f in remaining if f not in sim.detected]
+        result.random_pattern_count += len(batch_patterns)
+        if len(sim.detected) < min_batch_yield:
+            break
+
+    # ------------------------------------------------------------------
+    # Phase 2: deterministic PODEM with dynamic fault dropping.
+    # ------------------------------------------------------------------
+    podem = Podem(netlist, backtrack_limit=backtrack_limit)
+    cubes: List[List[int]] = []
+    phase2_fills: List[List[int]] = []
+    queue = list(remaining)
+    undetected = set(remaining)
+    for fault in queue:
+        if fault not in undetected:
+            continue
+        outcome = podem.generate(fault)
+        if outcome.status == "untestable":
+            result.untestable.append(fault)
+            undetected.discard(fault)
+            continue
+        if outcome.status == "aborted":
+            result.aborted.append(fault)
+            undetected.discard(fault)
+            continue
+        cube = outcome.cube
+        assert cube is not None
+        cubes.append(cube)
+        # Dynamic compaction: the filled test usually detects extra faults.
+        filled = x_fill(cube, rng, fill_mode)
+        phase2_fills.append(filled)
+        sim = simulator.simulate([filled], list(undetected), drop=True)
+        result.detected_deterministic += len(sim.detected)
+        for detected_fault in sim.detected:
+            undetected.discard(detected_fault)
+        if fault in undetected:
+            # A correct PODEM cube detects its target under *any* X fill
+            # (implication already proved a D at an observation point), so
+            # fault simulation must confirm it.  Anything else is an engine
+            # inconsistency worth surfacing, not silently absorbing.
+            undetected.discard(fault)
+            result.consistency_errors.append(fault)
+
+    if compact and cubes:
+        cubes = static_compact(cubes)
+    deterministic_patterns = [x_fill(cube, rng, fill_mode) for cube in cubes]
+    result.cubes = cubes
+    result.patterns = kept_patterns + deterministic_patterns
+
+    # Compaction re-fills merged cubes, so detections credited to a
+    # *particular* random fill during dynamic dropping can be lost.  Verify
+    # the final set and top off from the phase-2 fills (each known-good).
+    if compact and phase2_fills:
+        counted = [
+            f
+            for f in faults
+            if f not in set(result.untestable)
+            and f not in set(result.aborted)
+            and f not in set(result.consistency_errors)
+        ]
+        check = simulator.simulate(result.patterns, counted, drop=True)
+        missing = [f for f in counted if f not in check.detected]
+        if missing:
+            topoff = simulator.simulate(phase2_fills, missing, drop=True)
+            needed = sorted(set(topoff.detected.values()))
+            result.patterns.extend(phase2_fills[index] for index in needed)
+
+    result.cpu_seconds = time.perf_counter() - start
+    return result
+
+
+def atpg_table_row(netlist: Netlist, result: AtpgResult) -> Dict[str, object]:
+    """One row of the E1 summary table for a finished run."""
+    row: Dict[str, object] = {"circuit": netlist.name}
+    row.update(netlist.stats())
+    row.update(result.summary())
+    if result.cubes:
+        care, total, density = care_bit_stats(result.cubes)
+        row["care_bit_density"] = round(density, 4)
+    return row

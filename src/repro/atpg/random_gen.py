@@ -1,0 +1,51 @@
+"""Random and weighted-random pattern generation.
+
+Plain uniform patterns drive the random phase of the ATPG flow (E1) and the
+coverage-curve experiment (E2); weighted patterns are the classic remedy
+for random-resistant logic and feed the LBIST experiment (E6).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+
+def random_patterns(n_inputs: int, count: int, seed: int = 0) -> List[List[int]]:
+    """``count`` uniform random fully-specified patterns."""
+    rng = random.Random(seed)
+    patterns: List[List[int]] = []
+    for _ in range(count):
+        word = rng.getrandbits(n_inputs) if n_inputs else 0
+        patterns.append([(word >> bit) & 1 for bit in range(n_inputs)])
+    return patterns
+
+
+def weighted_random_patterns(
+    n_inputs: int,
+    count: int,
+    weights: Sequence[float],
+    seed: int = 0,
+) -> List[List[int]]:
+    """Random patterns with a per-input probability of being 1.
+
+    ``weights[i]`` is P(input *i* = 1).  Weighted random testing biases
+    inputs toward the values that excite random-resistant faults.
+    """
+    if len(weights) != n_inputs:
+        raise ValueError(f"need {n_inputs} weights, got {len(weights)}")
+    rng = random.Random(seed)
+    return [
+        [1 if rng.random() < weight else 0 for weight in weights]
+        for _ in range(count)
+    ]
+
+
+def exhaustive_patterns(n_inputs: int, limit: Optional[int] = None) -> List[List[int]]:
+    """All ``2**n`` input combinations (optionally truncated to ``limit``)."""
+    total = 1 << n_inputs
+    if limit is not None:
+        total = min(total, limit)
+    return [
+        [(value >> bit) & 1 for bit in range(n_inputs)] for value in range(total)
+    ]

@@ -1,0 +1,172 @@
+"""SCOAP-style testability measures.
+
+Combinational controllability ``CC0``/``CC1`` (difficulty of setting a line
+to 0/1) and observability ``CO`` (difficulty of propagating a line to an
+observation point), computed per gate in the full-scan view.  Used by:
+
+* PODEM backtrace — pick the easiest X input to satisfy an objective and
+  the hardest input when all inputs must be set;
+* LBIST test-point insertion (E6) — place control/observe points on the
+  lines with the worst measures.
+
+The measures follow Goldstein's SCOAP: every gate adds +1 depth cost, PIs
+and scan flops cost 1 to control, observation points cost 0 to observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Netlist
+
+#: Cost used for lines that cannot be controlled/observed at all.
+INFINITY = 10**9
+
+
+@dataclass
+class Testability:
+    """Per-gate SCOAP vectors, indexed by gate index."""
+
+    cc0: List[int]
+    cc1: List[int]
+    co: List[int]
+
+    def controllability(self, gate: int, value: int) -> int:
+        return self.cc1[gate] if value else self.cc0[gate]
+
+    def detect_cost(self, gate: int, stuck_value: int) -> int:
+        """Cost proxy for detecting ``gate`` output s-a-``stuck_value``."""
+        excite = self.controllability(gate, 1 - stuck_value)
+        return excite + self.co[gate]
+
+
+def compute_testability(netlist: Netlist) -> Testability:
+    """Compute CC0/CC1/CO for every gate (full-scan view)."""
+    netlist.finalize()
+    gates = netlist.gates
+    cc0 = [INFINITY] * len(gates)
+    cc1 = [INFINITY] * len(gates)
+
+    for index in netlist.topo_order:
+        gate = gates[index]
+        if gate.type == GateType.INPUT or gate.is_sequential:
+            cc0[index] = 1
+            cc1[index] = 1
+            continue
+        if gate.type == GateType.CONST0:
+            cc0[index] = 0
+            continue
+        if gate.type == GateType.CONST1:
+            cc1[index] = 0
+            continue
+        fanin = gate.fanin
+        in0 = [cc0[driver] for driver in fanin]
+        in1 = [cc1[driver] for driver in fanin]
+        if gate.type in (GateType.BUF, GateType.OUTPUT):
+            cc0[index], cc1[index] = in0[0] + 1, in1[0] + 1
+        elif gate.type == GateType.NOT:
+            cc0[index], cc1[index] = in1[0] + 1, in0[0] + 1
+        elif gate.type == GateType.AND:
+            cc1[index] = sum(in1) + 1
+            cc0[index] = min(in0) + 1
+        elif gate.type == GateType.NAND:
+            cc0[index] = sum(in1) + 1
+            cc1[index] = min(in0) + 1
+        elif gate.type == GateType.OR:
+            cc0[index] = sum(in0) + 1
+            cc1[index] = min(in1) + 1
+        elif gate.type == GateType.NOR:
+            cc1[index] = sum(in0) + 1
+            cc0[index] = min(in1) + 1
+        elif gate.type in (GateType.XOR, GateType.XNOR):
+            # Parity: cheapest combination achieving each output parity.
+            even, odd = 0, INFINITY
+            for zero_cost, one_cost in zip(in0, in1):
+                new_even = min(even + zero_cost, odd + one_cost)
+                new_odd = min(even + one_cost, odd + zero_cost)
+                even, odd = new_even, new_odd
+            if gate.type == GateType.XOR:
+                cc0[index], cc1[index] = even + 1, odd + 1
+            else:
+                cc0[index], cc1[index] = odd + 1, even + 1
+        elif gate.type == GateType.MUX2:
+            select, when0, when1 = fanin
+            for value, table in ((0, cc0), (1, cc1)):
+                through0 = cc0[select] + (cc0[when0] if value == 0 else cc1[when0])
+                through1 = cc1[select] + (cc0[when1] if value == 0 else cc1[when1])
+                table[index] = min(through0, through1) + 1
+        else:  # pragma: no cover - exhaustive over GateType
+            raise ValueError(f"unhandled gate type {gate.type}")
+
+    co = [INFINITY] * len(gates)
+    for po in netlist.outputs:
+        co[gates[po].fanin[0]] = 0
+        co[po] = 0
+    for flop in netlist.flops:
+        co[gates[flop].fanin[0]] = 0
+
+    for index in reversed(netlist.topo_order):
+        gate = gates[index]
+        if gate.type == GateType.INPUT or gate.is_sequential:
+            continue
+        base = co[index]
+        if base >= INFINITY:
+            continue
+        fanin = gate.fanin
+        for pin, driver in enumerate(fanin):
+            if gate.type in (GateType.BUF, GateType.NOT, GateType.OUTPUT):
+                cost = base + 1
+            elif gate.type in (GateType.AND, GateType.NAND):
+                cost = base + 1 + sum(
+                    cc1[other] for p, other in enumerate(fanin) if p != pin
+                )
+            elif gate.type in (GateType.OR, GateType.NOR):
+                cost = base + 1 + sum(
+                    cc0[other] for p, other in enumerate(fanin) if p != pin
+                )
+            elif gate.type in (GateType.XOR, GateType.XNOR):
+                cost = base + 1 + sum(
+                    min(cc0[other], cc1[other])
+                    for p, other in enumerate(fanin)
+                    if p != pin
+                )
+            elif gate.type == GateType.MUX2:
+                select, when0, when1 = fanin
+                if pin == 0:
+                    cost = base + 1 + min(
+                        cc0[when0] + cc1[when1], cc1[when0] + cc0[when1]
+                    )
+                elif driver == when0 and pin == 1:
+                    cost = base + 1 + cc0[select]
+                else:
+                    cost = base + 1 + cc1[select]
+            else:  # pragma: no cover
+                cost = base + 1
+            if cost < co[driver]:
+                co[driver] = cost
+
+    return Testability(cc0=cc0, cc1=cc1, co=co)
+
+
+def hardest_lines(netlist: Netlist, measures: Testability, count: int) -> List[int]:
+    """Gate indices with the worst detectability, worst first.
+
+    Ports, constants and flops are excluded — test points go on logic lines.
+    """
+    skip = {GateType.INPUT, GateType.OUTPUT, GateType.CONST0, GateType.CONST1}
+    candidates = [
+        gate.index
+        for gate in netlist.gates
+        if gate.type not in skip and not gate.is_sequential
+    ]
+    ranked = sorted(
+        candidates,
+        key=lambda i: -(
+            min(measures.cc0[i], INFINITY)
+            + min(measures.cc1[i], INFINITY)
+            + min(measures.co[i], INFINITY)
+        ),
+    )
+    return ranked[:count]

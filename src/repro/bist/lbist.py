@@ -1,0 +1,254 @@
+"""Logic BIST — the STUMPS architecture.
+
+Self-Test Using MISR and Parallel Shift-register sequence generator:
+a PRPG (pseudo-random pattern generator LFSR + phase shifter) feeds the
+scan chains, the circuit captures, and a MISR hashes the unloaded
+responses into a signature compared against the fault-free reference.
+
+The simulation here runs at the *pattern* level: PRPG-generated full-scan
+patterns are fault-simulated to obtain coverage (E2/E6 curves), and the
+good-machine signature is computed so tests can validate signature
+mismatch detection end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..circuit.netlist import Netlist
+from ..compression.lfsr import LFSR, PhaseShifter
+from ..compression.misr import MISR
+from ..faults.collapse import collapse_faults
+from ..faults.model import StuckAtFault
+from ..faults.stuck_at import full_fault_list
+from ..sim.faultsim import FaultSimulator
+from ..sim.parallel import ParallelSimulator
+
+
+@dataclass
+class LbistConfig:
+    """STUMPS geometry."""
+
+    prpg_length: int = 24
+    misr_length: int = 24
+    phase_taps: int = 3
+    seed: int = 1
+
+
+@dataclass
+class LbistResult:
+    """Coverage curve and signature from one LBIST session."""
+
+    patterns_applied: int = 0
+    coverage_points: List[Dict[str, float]] = field(default_factory=list)
+    final_coverage: float = 0.0
+    signature: int = 0
+    total_faults: int = 0
+    undetected: List[StuckAtFault] = field(default_factory=list)
+
+
+class StumpsController:
+    """PRPG + MISR wrapped around one netlist's full-scan view."""
+
+    def __init__(self, netlist: Netlist, config: Optional[LbistConfig] = None):
+        netlist.finalize()
+        self.netlist = netlist
+        self.config = config or LbistConfig()
+        self.simulator = FaultSimulator(netlist)
+        self.parallel = ParallelSimulator(netlist)
+        n_inputs = self.simulator.view.num_inputs
+        self._prpg = LFSR(self.config.prpg_length, seed=self.config.seed | 1)
+        self._shifter = PhaseShifter(
+            self.config.prpg_length,
+            n_inputs,
+            taps_per_output=self.config.phase_taps,
+            seed=self.config.seed + 3,
+        )
+
+    def generate_patterns(self, count: int) -> List[List[int]]:
+        """``count`` PRPG patterns over the full-scan view inputs."""
+        patterns: List[List[int]] = []
+        for _ in range(count):
+            self._prpg.step()
+            cells = [
+                (self._prpg.state >> bit) & 1
+                for bit in range(self.config.prpg_length)
+            ]
+            patterns.append(self._shifter.concrete(cells))
+        return patterns
+
+    def good_signature(self, patterns: Sequence[Sequence[int]]) -> int:
+        """MISR signature of the fault-free responses."""
+        misr = MISR(self.config.misr_length, seed=0)
+        width = self.config.misr_length
+        for response in self.parallel.responses(patterns):
+            # Fold wide responses into MISR-width slices.
+            for start in range(0, len(response), width):
+                misr.absorb(response[start : start + width])
+        return misr.signature
+
+    def run(
+        self,
+        n_patterns: int,
+        faults: Optional[Sequence[StuckAtFault]] = None,
+        checkpoint_every: int = 64,
+    ) -> LbistResult:
+        """Apply ``n_patterns`` PRPG patterns, recording the coverage curve."""
+        if faults is None:
+            faults, _ = collapse_faults(self.netlist, full_fault_list(self.netlist))
+        result = LbistResult(total_faults=len(faults))
+        remaining = list(faults)
+        detected_total = 0
+        all_patterns: List[List[int]] = []
+        applied = 0
+        while applied < n_patterns:
+            chunk_size = min(checkpoint_every, n_patterns - applied)
+            chunk = self.generate_patterns(chunk_size)
+            all_patterns.extend(chunk)
+            sim = self.simulator.simulate(chunk, remaining, drop=True)
+            detected_total += len(sim.detected)
+            remaining = [f for f in remaining if f not in sim.detected]
+            applied += chunk_size
+            result.coverage_points.append(
+                {
+                    "patterns": float(applied),
+                    "coverage": detected_total / len(faults) if faults else 1.0,
+                }
+            )
+        result.patterns_applied = applied
+        result.final_coverage = detected_total / len(faults) if faults else 1.0
+        result.undetected = remaining
+        result.signature = self.good_signature(all_patterns)
+        return result
+
+
+def _cop_hardness(netlist: Netlist, overrides: dict) -> float:
+    """Continuous testability objective: Σ −log10(detection probability).
+
+    Unlike a thresholded hard-line count, this objective moves when a
+    *single* input of a wide conjunction is biased, so greedy weight
+    selection can climb conjunctive requirements one literal at a time.
+    """
+    import math
+
+    from ..circuit.gates import GateType
+    from .cop import compute_cop
+
+    measures = compute_cop(netlist, cp_override=overrides)
+    floor = 1e-9
+    total = 0.0
+    for gate in netlist.gates:
+        if gate.type in (GateType.INPUT, GateType.OUTPUT) or gate.is_sequential:
+            continue
+        worse = min(
+            measures.detection_probability(gate.index, 0),
+            measures.detection_probability(gate.index, 1),
+        )
+        total += -math.log10(max(worse, floor))
+    return total
+
+
+def derive_input_weights(
+    netlist: Netlist,
+    low: float = 0.25,
+    high: float = 0.75,
+    min_gain: float = 0.05,
+) -> List[float]:
+    """Per-input 1-probabilities for weighted-random LBIST.
+
+    Greedy iterative selection on the continuous COP hardness objective:
+    each round tries biasing every still-unassigned input toward 0 and
+    toward 1 (with earlier choices already applied) and commits the single
+    best move; rounds stop when no move improves by ``min_gain``.  Inputs
+    never chosen stay at 0.5.
+    """
+    from ..sim.view import CombinationalView
+
+    netlist.finalize()
+    view = CombinationalView(netlist)
+    inputs = list(view.input_gates)
+    overrides: dict = {}
+    chosen: dict = {}
+
+    current = _cop_hardness(netlist, overrides)
+    for _ in range(len(inputs)):
+        best = None  # (gate, weight, objective)
+        for gate in inputs:
+            if gate in chosen:
+                continue
+            for weight in (low, high):
+                trial = dict(overrides)
+                trial[gate] = weight
+                objective = _cop_hardness(netlist, trial)
+                if objective < current - min_gain and (
+                    best is None or objective < best[2]
+                ):
+                    best = (gate, weight, objective)
+        if best is None:
+            break
+        gate, weight, objective = best
+        overrides[gate] = weight
+        chosen[gate] = weight
+        current = objective
+
+    return [chosen.get(gate, 0.5) for gate in inputs]
+
+
+def run_weighted_lbist(
+    netlist: Netlist,
+    n_patterns: int,
+    faults: Optional[Sequence[StuckAtFault]] = None,
+    seed: int = 1,
+) -> LbistResult:
+    """LBIST with COP-derived weighted-random patterns.
+
+    Real implementations realize the weights with programmable weighting
+    logic behind the PRPG; here the weighted source is modeled directly
+    (the coverage comparison against uniform STUMPS is what matters).
+    """
+    from ..atpg.random_gen import weighted_random_patterns
+    from ..sim.faultsim import FaultSimulator
+
+    netlist.finalize()
+    if faults is None:
+        faults, _ = collapse_faults(netlist, full_fault_list(netlist))
+    simulator = FaultSimulator(netlist)
+    weights = derive_input_weights(netlist)
+    result = LbistResult(total_faults=len(faults))
+    remaining = list(faults)
+    detected_total = 0
+    applied = 0
+    chunk_size = 64
+    while applied < n_patterns:
+        count = min(chunk_size, n_patterns - applied)
+        chunk = weighted_random_patterns(
+            len(weights), count, weights, seed=seed * 131 + applied
+        )
+        graded = simulator.simulate(chunk, remaining, drop=True)
+        detected_total += len(graded.detected)
+        remaining = [f for f in remaining if f not in graded.detected]
+        applied += count
+        result.coverage_points.append(
+            {
+                "patterns": float(applied),
+                "coverage": detected_total / len(faults) if faults else 1.0,
+            }
+        )
+    result.patterns_applied = applied
+    result.final_coverage = detected_total / len(faults) if faults else 1.0
+    result.undetected = remaining
+    return result
+
+
+def coverage_curve(
+    netlist: Netlist,
+    n_patterns: int,
+    config: Optional[LbistConfig] = None,
+    faults: Optional[Sequence[StuckAtFault]] = None,
+    checkpoint_every: int = 64,
+) -> List[Dict[str, float]]:
+    """Convenience: just the (patterns, coverage) series for E2/E6 plots."""
+    controller = StumpsController(netlist, config)
+    result = controller.run(n_patterns, faults, checkpoint_every)
+    return result.coverage_points

@@ -1,0 +1,159 @@
+"""Word-oriented memory test with data backgrounds.
+
+Real accelerator SRAMs are word-oriented (32-256 bits per access).  A
+March test applied word-wide with a single solid background cannot tell
+the bits of a word apart, so **intra-word coupling faults escape**.  The
+standard fix runs the March algorithm once per *data background* —
+``log2(width) + 1`` patterns (solid, checkerboard, double-stripe, …) are
+sufficient to distinguish every bit pair within a word.
+
+:class:`WordMemory` wraps the bit-level :class:`~repro.bist.memory.Memory`
+(cell index = ``word * width + bit``) so every bit-level fault model works
+unchanged, including coupling between bits of the *same word*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .march import Direction, MarchTest
+from .memory import Memory, MemoryFault
+
+
+class WordMemory:
+    """A ``n_words x width`` memory over the bit-level fault model."""
+
+    def __init__(self, n_words: int, width: int, faults: Sequence[MemoryFault] = ()):
+        if n_words < 2 or width < 1:
+            raise ValueError("need at least 2 words and 1 bit per word")
+        self.n_words = n_words
+        self.width = width
+        self.bits = Memory(n_words * width, faults=faults)
+
+    def cell_index(self, word: int, bit: int) -> int:
+        """Flattened bit-cell index of (word, bit)."""
+        if not 0 <= word < self.n_words or not 0 <= bit < self.width:
+            raise IndexError(f"({word}, {bit}) out of range")
+        return word * self.width + bit
+
+    def write_word(self, word: int, value: int) -> None:
+        """Write ``width`` bits (LSB first) to one word."""
+        base = self.cell_index(word, 0)
+        for bit in range(self.width):
+            self.bits.write(base + bit, (value >> bit) & 1)
+
+    def read_word(self, word: int) -> int:
+        """Read one word as an int (LSB first)."""
+        base = self.cell_index(word, 0)
+        value = 0
+        for bit in range(self.width):
+            value |= self.bits.read(base + bit) << bit
+        return value
+
+
+def standard_backgrounds(width: int) -> List[int]:
+    """Solid plus stripe backgrounds: ``log2(width) + 1`` patterns.
+
+    For width 8: ``00000000``, ``01010101``, ``00110011``, ``00001111``.
+    Every bit pair within a word differs under at least one background,
+    which is the property intra-word coupling detection needs.
+    """
+    backgrounds = [0]
+    stripe = 1
+    while stripe < width:
+        pattern = 0
+        for bit in range(width):
+            if (bit // stripe) % 2 == 1:
+                pattern |= 1 << bit
+        backgrounds.append(pattern)
+        stripe *= 2
+    return backgrounds
+
+
+@dataclass
+class WordMarchResult:
+    """Per-background March outcomes for a word memory."""
+
+    test_name: str
+    backgrounds: List[int]
+    failures_per_background: List[int]
+    operations: int
+
+    @property
+    def passed(self) -> bool:
+        return all(count == 0 for count in self.failures_per_background)
+
+    @property
+    def detected_by(self) -> List[int]:
+        """Backgrounds (values) that caught something."""
+        return [
+            background
+            for background, count in zip(
+                self.backgrounds, self.failures_per_background
+            )
+            if count
+        ]
+
+
+def run_march_word(
+    memory: WordMemory,
+    test: MarchTest,
+    backgrounds: Optional[Sequence[int]] = None,
+) -> WordMarchResult:
+    """Run a March test word-wide, once per data background.
+
+    ``w0``/``r0`` use the background value, ``w1``/``r1`` its complement —
+    the standard word-oriented interpretation.
+    """
+    if backgrounds is None:
+        backgrounds = standard_backgrounds(memory.width)
+    mask = (1 << memory.width) - 1
+    failures: List[int] = []
+    operations = 0
+    for background in backgrounds:
+        data = {0: background & mask, 1: ~background & mask}
+        fail_count = 0
+        for element in test.elements:
+            if element.direction == Direction.DOWN:
+                addresses = range(memory.n_words - 1, -1, -1)
+            else:
+                addresses = range(memory.n_words)
+            for address in addresses:
+                for operation in element.operations:
+                    operations += 1
+                    if operation.kind == "w":
+                        memory.write_word(address, data[operation.value])
+                    else:
+                        observed = memory.read_word(address)
+                        if observed != data[operation.value]:
+                            fail_count += 1
+        failures.append(fail_count)
+    return WordMarchResult(
+        test_name=test.name,
+        backgrounds=list(backgrounds),
+        failures_per_background=failures,
+        operations=operations,
+    )
+
+
+def intra_word_coupling_fault(
+    word: int, victim_bit: int, aggressor_bit: int, width: int, value: int = 1
+) -> MemoryFault:
+    """A state-coupling (CFst) fault between two bits of the same word.
+
+    Intra-word coupling manifests through *reads*: a word write drives all
+    bits simultaneously, so a write-triggered disturbance of the victim is
+    immediately overwritten by the victim's own write driver.  What
+    survives is the read-disturb: the victim reads ``value`` whenever the
+    aggressor bit holds 1.  Under a solid background victim and aggressor
+    always agree, so the forced value matches the expected one — the
+    classic escape that stripe backgrounds exist to close.
+    """
+    return MemoryFault(
+        "CFst",
+        cell=word * width + victim_bit,
+        aggressor=word * width + aggressor_bit,
+        value=value,
+        aggressor_state=1,
+    )

@@ -1,0 +1,164 @@
+"""Reader/writer for the ISCAS ``.bench`` netlist format.
+
+The ``.bench`` dialect accepted here is the common one used by the ISCAS-85
+and ISCAS-89 benchmark distributions::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = NAND(G0, G3)
+    G5  = DFF(G10)
+
+Gate keywords (case-insensitive): ``AND OR NAND NOR XOR XNOR NOT BUF BUFF
+DFF MUX`` plus ``CONST0``/``CONST1`` extensions.  An ``OUTPUT(x)`` line
+creates an ``OUTPUT`` port gate named ``x_po`` driven by net ``x`` so the
+original net name stays addressable.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from .gates import GateType
+from .netlist import Netlist, NetlistError
+
+_GATE_KEYWORDS = {
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "DFF": GateType.DFF,
+    "MUX": GateType.MUX2,
+    "MUX2": GateType.MUX2,
+    "CONST0": GateType.CONST0,
+    "CONST1": GateType.CONST1,
+}
+
+_TYPE_KEYWORDS = {
+    GateType.AND: "AND",
+    GateType.NAND: "NAND",
+    GateType.OR: "OR",
+    GateType.NOR: "NOR",
+    GateType.XOR: "XOR",
+    GateType.XNOR: "XNOR",
+    GateType.NOT: "NOT",
+    GateType.BUF: "BUFF",
+    GateType.DFF: "DFF",
+    GateType.MUX2: "MUX",
+    GateType.CONST0: "CONST0",
+    GateType.CONST1: "CONST1",
+}
+
+_ASSIGN_RE = re.compile(r"^\s*([\w.\[\]$]+)\s*=\s*(\w+)\s*\(([^)]*)\)\s*$")
+_PORT_RE = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*([\w.\[\]$]+)\s*\)\s*$", re.IGNORECASE)
+
+
+class BenchFormatError(NetlistError):
+    """Raised when a ``.bench`` source cannot be parsed."""
+
+
+def parse_bench(text: str, name: str = "bench") -> Netlist:
+    """Parse ``.bench`` source text into a :class:`Netlist`.
+
+    Definitions may appear in any order; a two-pass scheme resolves forward
+    references.  Scan flops (``SDFF``) are not part of the classic format —
+    scan insertion produces them later.
+    """
+    inputs: List[str] = []
+    outputs: List[str] = []
+    assigns: List[Tuple[str, GateType, List[str], int]] = []
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        port = _PORT_RE.match(line)
+        if port:
+            kind, net = port.group(1).upper(), port.group(2)
+            (inputs if kind == "INPUT" else outputs).append(net)
+            continue
+        assign = _ASSIGN_RE.match(line)
+        if assign:
+            target, keyword, arg_text = assign.groups()
+            gate_type = _GATE_KEYWORDS.get(keyword.upper())
+            if gate_type is None:
+                raise BenchFormatError(
+                    f"line {line_number}: unknown gate keyword {keyword!r}"
+                )
+            args = [a.strip() for a in arg_text.split(",") if a.strip()]
+            assigns.append((target, gate_type, args, line_number))
+            continue
+        raise BenchFormatError(f"line {line_number}: cannot parse {raw.strip()!r}")
+
+    netlist = Netlist(name)
+    # Pre-assign indices so definitions may appear in any order (ISCAS-89
+    # files routinely declare DFFs before the logic that feeds them).
+    index_of: Dict[str, int] = {}
+    for position, net in enumerate(inputs):
+        index_of[net] = position
+    for offset, (target, _, __, line_number) in enumerate(assigns):
+        if target in index_of:
+            raise BenchFormatError(f"line {line_number}: net {target!r} redefined")
+        index_of[target] = len(inputs) + offset
+
+    for net in inputs:
+        netlist.add(GateType.INPUT, net)
+    for target, gate_type, args, line_number in assigns:
+        missing = [arg for arg in args if arg not in index_of]
+        if missing:
+            raise BenchFormatError(
+                f"line {line_number}: undefined net(s) {missing}"
+            )
+        netlist.add(gate_type, target, [index_of[arg] for arg in args])
+
+    for net in outputs:
+        if net not in index_of:
+            raise BenchFormatError(f"OUTPUT({net}) references undefined net")
+        netlist.add(GateType.OUTPUT, f"{net}_po", [index_of[net]])
+    netlist.finalize()
+    return netlist
+
+
+def write_bench(netlist: Netlist) -> str:
+    """Serialize a netlist back to ``.bench`` text.
+
+    ``SDFF`` gates are written as plain ``DFF`` of their functional D pin
+    (the classic format has no scan construct); ``OUTPUT`` gates emit an
+    ``OUTPUT(driver)`` line.
+    """
+    lines: List[str] = [f"# {netlist.name}"]
+    for index in netlist.inputs:
+        lines.append(f"INPUT({netlist.gates[index].name})")
+    for index in netlist.outputs:
+        driver = netlist.gates[index].fanin[0]
+        lines.append(f"OUTPUT({netlist.gates[driver].name})")
+    for gate in netlist.gates:
+        if gate.type in (GateType.INPUT, GateType.OUTPUT):
+            continue
+        if gate.type == GateType.SDFF:
+            driver = netlist.gates[gate.fanin[0]].name
+            lines.append(f"{gate.name} = DFF({driver})")
+            continue
+        keyword = _TYPE_KEYWORDS[gate.type]
+        args = ", ".join(netlist.gates[i].name for i in gate.fanin)
+        lines.append(f"{gate.name} = {keyword}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def load_bench(path: str) -> Netlist:
+    """Read and parse a ``.bench`` file from disk."""
+    with open(path) as handle:
+        return parse_bench(handle.read(), name=path.rsplit("/", 1)[-1])
+
+
+def save_bench(netlist: Netlist, path: str) -> None:
+    """Serialize ``netlist`` and write it to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(write_bench(netlist))

@@ -1,0 +1,280 @@
+"""Gate-level netlist graph.
+
+A :class:`Netlist` is a directed graph of single-output :class:`Gate`
+nodes.  Nets are identified with the gate that drives them, so "the value of
+gate *g*" and "the value of net *g*" are the same thing.  Sequential
+elements (``DFF``/``SDFF``) break combinational cycles: for levelization and
+combinational engines their outputs act as pseudo primary inputs and their
+``D`` pins as pseudo primary outputs — exactly the full-scan view used by
+combinational ATPG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from .gates import (
+    SEQUENTIAL_TYPES,
+    SOURCE_TYPES,
+    GateType,
+    fanin_count_valid,
+)
+
+
+@dataclass
+class Gate:
+    """One single-output node of the netlist graph.
+
+    ``fanin`` holds driving gate indices in pin order; ``fanout`` is derived
+    and maintained by the :class:`Netlist`.
+    """
+
+    index: int
+    name: str
+    type: GateType
+    fanin: List[int] = field(default_factory=list)
+    fanout: List[int] = field(default_factory=list)
+    level: int = -1
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.type in SEQUENTIAL_TYPES
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        fanins = ",".join(str(i) for i in self.fanin)
+        return f"Gate({self.index}:{self.name}={self.type.value}({fanins}))"
+
+
+class NetlistError(ValueError):
+    """Raised for malformed netlist construction or queries."""
+
+
+class Netlist:
+    """A named collection of gates with port and state bookkeeping.
+
+    Structural mutation happens through :meth:`add`; afterwards call
+    :meth:`finalize` (or let the first query do it) to compute fanout lists,
+    levels, and the topological order.
+    """
+
+    def __init__(self, name: str = "top"):
+        self.name = name
+        self.gates: List[Gate] = []
+        self._by_name: Dict[str, int] = {}
+        self.inputs: List[int] = []
+        self.outputs: List[int] = []
+        self.flops: List[int] = []
+        self._topo: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add(self, gate_type: GateType, name: str, fanin: Sequence[int] = ()) -> int:
+        """Add a gate and return its index.
+
+        ``fanin`` lists the indices of already-added driver gates in pin
+        order.  ``OUTPUT`` gates are recorded as primary outputs, ``INPUT``
+        gates as primary inputs, flops in :attr:`flops`.
+        """
+        if name in self._by_name:
+            raise NetlistError(f"duplicate gate name: {name!r}")
+        if not fanin_count_valid(gate_type, len(fanin)):
+            raise NetlistError(
+                f"gate {name!r} of type {gate_type.value} cannot take "
+                f"{len(fanin)} fanin(s)"
+            )
+        index = len(self.gates)
+        for driver in fanin:
+            if driver < 0:
+                raise NetlistError(
+                    f"gate {name!r} references invalid fanin index {driver}"
+                )
+        gate = Gate(index=index, name=name, type=gate_type, fanin=list(fanin))
+        self.gates.append(gate)
+        self._by_name[name] = index
+        if gate_type == GateType.INPUT:
+            self.inputs.append(index)
+        elif gate_type == GateType.OUTPUT:
+            self.outputs.append(index)
+        elif gate_type in SEQUENTIAL_TYPES:
+            self.flops.append(index)
+        self._topo = None
+        return index
+
+    def index_of(self, name: str) -> int:
+        """Look up a gate index by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise NetlistError(f"no gate named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Compute fanout lists, combinational levels, and the topo order.
+
+        Raises :class:`NetlistError` on combinational cycles.  Idempotent;
+        called lazily by the accessors below.
+        """
+        if self._topo is not None:
+            return
+        for gate in self.gates:
+            for driver in gate.fanin:
+                if driver >= len(self.gates):
+                    raise NetlistError(
+                        f"gate {gate.name!r} references undefined fanin index {driver}"
+                    )
+        for gate in self.gates:
+            gate.fanout = []
+        for gate in self.gates:
+            for driver in gate.fanin:
+                self.gates[driver].fanout.append(gate.index)
+
+        # Kahn's algorithm over combinational edges.  Flop gates are sources:
+        # their D-pin dependency is a *next-cycle* edge, so it does not count
+        # toward in-degree and flops are emitted before combinational logic.
+        indegree = [0] * len(self.gates)
+        for gate in self.gates:
+            if gate.is_sequential:
+                indegree[gate.index] = 0
+            else:
+                indegree[gate.index] = len(gate.fanin)
+        ready = [g.index for g in self.gates if indegree[g.index] == 0]
+        order: List[int] = []
+        head = 0
+        while head < len(ready):
+            current = ready[head]
+            head += 1
+            order.append(current)
+            for consumer in self.gates[current].fanout:
+                if self.gates[consumer].is_sequential:
+                    continue
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    ready.append(consumer)
+        if len(order) != len(self.gates):
+            stuck = [g.name for g in self.gates if indegree[g.index] > 0]
+            raise NetlistError(
+                f"combinational cycle through gates: {stuck[:8]}"
+            )
+
+        for gate in self.gates:
+            if gate.type in SOURCE_TYPES or gate.is_sequential:
+                gate.level = 0
+        for index in order:
+            gate = self.gates[index]
+            if gate.level == 0 and (gate.type in SOURCE_TYPES or gate.is_sequential):
+                continue
+            gate.level = 1 + max(
+                (self.gates[driver].level for driver in gate.fanin), default=0
+            )
+        self._topo = order
+
+    @property
+    def topo_order(self) -> List[int]:
+        """Gate indices in combinational evaluation order."""
+        self.finalize()
+        assert self._topo is not None
+        return self._topo
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def is_sequential(self) -> bool:
+        return bool(self.flops)
+
+    @property
+    def num_gates(self) -> int:
+        """Count of logic gates (excludes ports)."""
+        ports = {GateType.INPUT, GateType.OUTPUT}
+        return sum(1 for g in self.gates if g.type not in ports)
+
+    def input_names(self) -> List[str]:
+        return [self.gates[i].name for i in self.inputs]
+
+    def output_names(self) -> List[str]:
+        return [self.gates[i].name for i in self.outputs]
+
+    def fanin_cone(self, roots: Iterable[int]) -> Set[int]:
+        """All gates in the transitive combinational fanin of ``roots``.
+
+        Traversal stops at flops and sources (their indices are included).
+        """
+        seen: Set[int] = set()
+        stack = list(roots)
+        while stack:
+            index = stack.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            gate = self.gates[index]
+            if gate.is_sequential:
+                continue
+            stack.extend(gate.fanin)
+        return seen
+
+    def fanout_cone(self, roots: Iterable[int]) -> Set[int]:
+        """All gates in the transitive combinational fanout of ``roots``."""
+        self.finalize()
+        seen: Set[int] = set()
+        stack = list(roots)
+        while stack:
+            index = stack.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            for consumer in self.gates[index].fanout:
+                if not self.gates[consumer].is_sequential:
+                    stack.append(consumer)
+        return seen
+
+    def observation_points(self) -> List[int]:
+        """Gate indices where fault effects are observed: POs and flop D pins.
+
+        For full-scan circuits a fault effect reaching either a primary
+        output or any flop input is observable during unload.
+        """
+        points = list(self.outputs)
+        points.extend(self.flops)
+        return points
+
+    def stats(self) -> Dict[str, int]:
+        """Summary counts, used in reports and benchmark tables."""
+        self.finalize()
+        depth = max((g.level for g in self.gates), default=0)
+        return {
+            "gates": self.num_gates,
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "flops": len(self.flops),
+            "depth": depth,
+        }
+
+    def clone(self, name: Optional[str] = None) -> "Netlist":
+        """Deep-copy the structural graph (fanout/levels recomputed lazily)."""
+        copy = Netlist(name or self.name)
+        for gate in self.gates:
+            copy.add(gate.type, gate.name, list(gate.fanin))
+        return copy
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Netlist({self.name!r}, gates={len(self.gates)}, "
+            f"pi={len(self.inputs)}, po={len(self.outputs)}, "
+            f"ff={len(self.flops)})"
+        )

@@ -1,0 +1,245 @@
+"""Reader/writer for a structural-Verilog netlist subset.
+
+The accepted dialect is gate-level structural Verilog as synthesis tools
+emit for primitive libraries::
+
+    module top (a, b, y);
+      input a, b;
+      output y;
+      wire w1;
+      nand g1 (w1, a, b);   // first port is the output
+      not  g2 (y, w1);
+      dff  ff1 (q, d);      // non-standard primitive for state
+    endmodule
+
+Supported primitives: ``and or nand nor xor xnor not buf`` (native
+Verilog), plus ``dff`` (output, data) and ``mux2`` (output, select, a, b)
+as library extensions.  One module per file; scalar nets only (bus bits
+arrive from the writer as escaped scalar names).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .gates import GateType
+from .netlist import Netlist, NetlistError
+
+_PRIMITIVES = {
+    "and": GateType.AND,
+    "or": GateType.OR,
+    "nand": GateType.NAND,
+    "nor": GateType.NOR,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "not": GateType.NOT,
+    "buf": GateType.BUF,
+    "dff": GateType.DFF,
+    "mux2": GateType.MUX2,
+}
+
+_KEYWORDS = {
+    GateType.AND: "and",
+    GateType.OR: "or",
+    GateType.NAND: "nand",
+    GateType.NOR: "nor",
+    GateType.XOR: "xor",
+    GateType.XNOR: "xnor",
+    GateType.NOT: "not",
+    GateType.BUF: "buf",
+    GateType.DFF: "dff",
+    GateType.SDFF: "dff",  # scan flops serialize as plain flops
+    GateType.MUX2: "mux2",
+}
+
+_MODULE_RE = re.compile(
+    r"module\s+(\w+)\s*\(([^)]*)\)\s*;(.*?)endmodule", re.DOTALL
+)
+_DECL_RE = re.compile(r"(input|output|wire)\s+([^;]+);")
+_INST_RE = re.compile(r"(\w+)\s+(\w+)\s*\(([^)]*)\)\s*;")
+
+
+class VerilogFormatError(NetlistError):
+    """Raised when Verilog source cannot be parsed."""
+
+
+def sanitize_net_name(name: str) -> str:
+    """Map internal names (with ``[ ] / .``) to legal Verilog identifiers."""
+    return re.sub(r"[^A-Za-z0-9_]", "_", name)
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+
+
+def parse_verilog(text: str) -> Netlist:
+    """Parse one structural module into a :class:`Netlist`."""
+    source = _strip_comments(text)
+    module = _MODULE_RE.search(source)
+    if module is None:
+        raise VerilogFormatError("no module ... endmodule block found")
+    name, _port_list, body = module.groups()
+
+    inputs: List[str] = []
+    outputs: List[str] = []
+    for kind, nets in _DECL_RE.findall(body):
+        names = [n.strip() for n in nets.split(",") if n.strip()]
+        for net in names:
+            if "[" in net:
+                raise VerilogFormatError(
+                    f"vector declarations are not supported: {net!r}"
+                )
+        if kind == "input":
+            inputs.extend(names)
+        elif kind == "output":
+            outputs.extend(names)
+        # wires need no bookkeeping: every net is named by its driver.
+
+    instances: List[Tuple[GateType, str, List[str]]] = []
+    declared = set(("input", "output", "wire", "module"))
+    body_no_decl = _DECL_RE.sub("", body)
+    for keyword, instance_name, ports in _INST_RE.findall(body_no_decl):
+        if keyword in declared:
+            continue
+        gate_type = _PRIMITIVES.get(keyword)
+        if gate_type is None:
+            raise VerilogFormatError(f"unknown primitive {keyword!r}")
+        nets = [p.strip() for p in ports.split(",") if p.strip()]
+        if len(nets) < 2:
+            raise VerilogFormatError(
+                f"instance {instance_name!r} needs an output and inputs"
+            )
+        instances.append((gate_type, instance_name, nets))
+
+    # Nets are named by their drivers; build the index map first so
+    # definitions may appear in any order (flop feedback included).
+    netlist = Netlist(name)
+    index_of: Dict[str, int] = {}
+    for position, net in enumerate(inputs):
+        index_of[net] = position
+    # Literal constants used as instance inputs get shared driver gates.
+    literals_used = {
+        net
+        for _, __, nets in instances
+        for net in nets[1:]
+        if net in ("1'b0", "1'b1")
+    }
+    next_index = len(inputs)
+    for literal in sorted(literals_used):
+        index_of[literal] = next_index
+        next_index += 1
+    for gate_type, instance_name, nets in instances:
+        driven = nets[0]
+        if driven in index_of:
+            raise VerilogFormatError(f"net {driven!r} driven twice")
+        index_of[driven] = next_index
+        next_index += 1
+
+    for net in inputs:
+        netlist.add(GateType.INPUT, net)
+    for literal in sorted(literals_used):
+        gate_type = GateType.CONST0 if literal == "1'b0" else GateType.CONST1
+        netlist.add(gate_type, "__const0" if literal == "1'b0" else "__const1")
+    for gate_type, instance_name, nets in instances:
+        driven, drivers = nets[0], nets[1:]
+        missing = [d for d in drivers if d not in index_of]
+        if missing:
+            raise VerilogFormatError(
+                f"instance {instance_name!r} references undriven nets {missing}"
+            )
+        if gate_type == GateType.MUX2 and len(drivers) != 3:
+            raise VerilogFormatError("mux2 takes (out, select, a, b)")
+        netlist.add(gate_type, driven, [index_of[d] for d in drivers])
+
+    for net in outputs:
+        if net not in index_of:
+            raise VerilogFormatError(f"output {net!r} is never driven")
+        netlist.add(GateType.OUTPUT, f"{net}_po", [index_of[net]])
+    netlist.finalize()
+    return netlist
+
+
+def write_verilog(netlist: Netlist, module_name: Optional[str] = None) -> str:
+    """Serialize a netlist as one structural Verilog module.
+
+    ``SDFF`` gates are emitted as plain ``dff`` of the functional D pin
+    (scan structure is a netlist-level concern, matching ``.bench``).
+    Names are sanitized; collisions after sanitization get a numeric
+    suffix.
+    """
+    netlist.finalize()
+    rename: Dict[int, str] = {}
+    used = set()
+    for gate in netlist.gates:
+        base = sanitize_net_name(gate.name)
+        candidate = base
+        counter = 0
+        while candidate in used:
+            counter += 1
+            candidate = f"{base}_{counter}"
+        used.add(candidate)
+        rename[gate.index] = candidate
+
+    input_names = [rename[i] for i in netlist.inputs]
+    output_nets = []
+    output_lines = []
+    for po in netlist.outputs:
+        driver = netlist.gates[po].fanin[0]
+        port = rename[po]
+        output_nets.append(port)
+        output_lines.append((port, rename[driver]))
+
+    lines = [
+        f"module {module_name or sanitize_net_name(netlist.name)} "
+        f"({', '.join(input_names + output_nets)});"
+    ]
+    if input_names:
+        lines.append(f"  input {', '.join(input_names)};")
+    if output_nets:
+        lines.append(f"  output {', '.join(output_nets)};")
+    wires = [
+        rename[g.index]
+        for g in netlist.gates
+        if g.type not in (GateType.INPUT, GateType.OUTPUT)
+    ]
+    if wires:
+        lines.append(f"  wire {', '.join(wires)};")
+
+    counter = 0
+    for gate in netlist.gates:
+        if gate.type in (GateType.INPUT, GateType.OUTPUT):
+            continue
+        counter += 1
+        if gate.type == GateType.CONST0:
+            lines.append(f"  buf g{counter} ({rename[gate.index]}, 1'b0);")
+            continue
+        if gate.type == GateType.CONST1:
+            lines.append(f"  buf g{counter} ({rename[gate.index]}, 1'b1);")
+            continue
+        keyword = _KEYWORDS[gate.type]
+        if gate.type == GateType.SDFF:
+            drivers = [rename[gate.fanin[0]]]
+        else:
+            drivers = [rename[d] for d in gate.fanin]
+        ports = ", ".join([rename[gate.index]] + drivers)
+        lines.append(f"  {keyword} g{counter} ({ports});")
+
+    for port, driver in output_lines:
+        counter += 1
+        lines.append(f"  buf g{counter} ({port}, {driver});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def load_verilog(path: str) -> Netlist:
+    """Read and parse a structural Verilog file."""
+    with open(path) as handle:
+        return parse_verilog(handle.read())
+
+
+def save_verilog(netlist: Netlist, path: str) -> None:
+    """Serialize ``netlist`` to a Verilog file."""
+    with open(path, "w") as handle:
+        handle.write(write_verilog(netlist))

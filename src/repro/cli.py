@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Thin orchestration over the library for the common one-shot jobs:
+
+=============  =====================================================
+``circuits``   list the built-in benchmark circuits
+``stats``      print a circuit's structural statistics
+``atpg``       run the stuck-at ATPG flow, optionally save patterns
+``faultsim``   grade a saved pattern file against a circuit
+``lbist``      run STUMPS and report the coverage curve
+``mbist``      print the March coverage matrix
+``plan``       print the chip-level DFT plan for an accelerator
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .atpg import atpg_table_row, run_atpg
+from .bist.lbist import StumpsController
+from .bist.mbist import coverage_matrix, format_matrix
+from .circuit import benchmarks
+from .circuit.bench import load_bench
+from .circuit.netlist import Netlist
+from .circuit.verilog import load_verilog
+from .dft.planner import build_plan
+from .faults import collapse_faults, full_fault_list
+from .scan.patfile import format_patterns, load_patterns
+from .sim.faultsim import FaultSimulator
+from .sim.view import CombinationalView
+
+
+def _load_circuit(spec: str) -> Netlist:
+    """Resolve a circuit argument: benchmark name, .bench, or .v file."""
+    if spec.endswith(".bench"):
+        return load_bench(spec)
+    if spec.endswith(".v"):
+        return load_verilog(spec)
+    return benchmarks.get_benchmark(spec)
+
+
+def _cmd_circuits(_args) -> int:
+    for name in benchmarks.benchmark_names():
+        netlist = benchmarks.get_benchmark(name)
+        print(f"{name:10s} {netlist.stats()}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    netlist = _load_circuit(args.circuit)
+    print(f"{netlist.name}: {netlist.stats()}")
+    faults = full_fault_list(netlist)
+    collapsed, _ = collapse_faults(netlist, faults)
+    print(f"stuck-at faults: {len(faults)} uncollapsed, {len(collapsed)} collapsed")
+    return 0
+
+
+def _cmd_atpg(args) -> int:
+    netlist = _load_circuit(args.circuit)
+    result = run_atpg(netlist, seed=args.seed, backtrack_limit=args.backtrack_limit)
+    row = atpg_table_row(netlist, result)
+    for key, value in row.items():
+        print(f"{key}: {value}")
+    if args.output:
+        view = CombinationalView(netlist)
+        text = format_patterns(netlist.name, view.input_names(), result.patterns)
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(result.patterns)} patterns to {args.output}")
+    return 0
+
+
+def _cmd_faultsim(args) -> int:
+    netlist = _load_circuit(args.circuit)
+    pattern_file = load_patterns(args.patterns)
+    faults, _ = collapse_faults(netlist, full_fault_list(netlist))
+    simulator = FaultSimulator(netlist)
+    filled = [
+        [0 if v not in (0, 1) else v for v in pattern]
+        for pattern in pattern_file.patterns
+    ]
+    result = simulator.simulate(filled, faults, drop=True)
+    print(
+        f"{len(result.detected)}/{len(faults)} faults detected "
+        f"({result.coverage:.2%}) by {len(filled)} patterns"
+    )
+    return 0
+
+
+def _cmd_lbist(args) -> int:
+    netlist = _load_circuit(args.circuit)
+    controller = StumpsController(netlist)
+    result = controller.run(args.patterns)
+    for point in result.coverage_points:
+        print(f"{int(point['patterns']):6d} patterns: {point['coverage']:.4f}")
+    print(f"final coverage: {result.final_coverage:.4f}")
+    print(f"signature: {result.signature:#x}")
+    return 0
+
+
+def _cmd_mbist(args) -> int:
+    matrix = coverage_matrix(
+        n_cells=args.cells, samples_per_kind=args.samples, seed=args.seed
+    )
+    print(format_matrix(matrix))
+    return 0
+
+
+def _cmd_plan(_args) -> int:
+    plan = build_plan()
+    for key, value in plan.report.items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="AI-chip DFT methodology toolkit"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("circuits", help="list built-in circuits").set_defaults(
+        handler=_cmd_circuits
+    )
+
+    stats = commands.add_parser("stats", help="circuit statistics")
+    stats.add_argument("circuit", help="benchmark name, .bench, or .v file")
+    stats.set_defaults(handler=_cmd_stats)
+
+    atpg = commands.add_parser("atpg", help="run stuck-at ATPG")
+    atpg.add_argument("circuit")
+    atpg.add_argument("--seed", type=int, default=0)
+    atpg.add_argument("--backtrack-limit", type=int, default=64)
+    atpg.add_argument("--output", "-o", help="write patterns to file")
+    atpg.set_defaults(handler=_cmd_atpg)
+
+    faultsim = commands.add_parser("faultsim", help="grade a pattern file")
+    faultsim.add_argument("circuit")
+    faultsim.add_argument("patterns", help="pattern file from `repro atpg -o`")
+    faultsim.set_defaults(handler=_cmd_faultsim)
+
+    lbist = commands.add_parser("lbist", help="run STUMPS logic BIST")
+    lbist.add_argument("circuit")
+    lbist.add_argument("--patterns", type=int, default=512)
+    lbist.set_defaults(handler=_cmd_lbist)
+
+    mbist = commands.add_parser("mbist", help="March coverage matrix")
+    mbist.add_argument("--cells", type=int, default=64)
+    mbist.add_argument("--samples", type=int, default=30)
+    mbist.add_argument("--seed", type=int, default=0)
+    mbist.set_defaults(handler=_cmd_mbist)
+
+    plan = commands.add_parser("plan", help="chip-level DFT plan")
+    plan.set_defaults(handler=_cmd_plan)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,192 @@
+"""EDT-style test stimulus decompressor.
+
+The Embedded Deterministic Test architecture (Rajski et al.) feeds a small
+ring generator from a few tester channels while it clocks in lock-step with
+the internal scan chains; a phase shifter fans the generator out to many
+short chains.  Because the whole datapath is linear over GF(2), choosing
+channel inputs that reproduce a test cube's care bits is a linear solve:
+
+* variables — one per (channel, shift cycle),
+* one equation per care bit: the symbolic expression of that scan cell
+  equals the required value.
+
+Encoding succeeds with high probability while care bits ≤ ~(variables − 20)
+— the channel-capacity knee the E5 experiment sweeps across.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .gf2 import GF2System, dot_bits
+from .lfsr import PhaseShifter, RingGenerator
+
+
+@dataclass(frozen=True)
+class EdtConfig:
+    """Geometry of one decompressor instance."""
+
+    n_channels: int
+    n_chains: int
+    chain_length: int
+    generator_length: int = 24
+    phase_taps: int = 3
+    seed: int = 1
+    #: Generator clocks (with injection) before the first shift cycle.
+    #: Without warm-up, cells far from the injectors have empty equations in
+    #: the first few cycles, leaving some scan cells uncontrollable.
+    warmup_cycles: int = 8
+
+    @property
+    def variables_per_pattern(self) -> int:
+        return self.n_channels * (self.chain_length + self.warmup_cycles)
+
+    @property
+    def cells_per_pattern(self) -> int:
+        return self.n_chains * self.chain_length
+
+
+class Decompressor:
+    """Symbolic + concrete model of the EDT stimulus path."""
+
+    def __init__(self, config: EdtConfig):
+        self.config = config
+        self.generator = RingGenerator(
+            config.generator_length, config.n_channels, seed=config.seed
+        )
+        self.shifter = PhaseShifter(
+            config.generator_length,
+            config.n_chains,
+            taps_per_output=config.phase_taps,
+            seed=config.seed + 1,
+        )
+
+    # ------------------------------------------------------------------
+    # Symbolic: cell equations
+    # ------------------------------------------------------------------
+
+    def cell_equations(self) -> List[List[int]]:
+        """``equations[cycle][chain]`` — variable bitmask loaded into chain
+        input at shift ``cycle`` (which lands in cell ``chain_length-1-cycle``
+        counted from scan-in).
+
+        The generator is clocked once *before* each shift use, so injected
+        bits immediately influence the same-cycle chain inputs.
+        """
+        self.generator.reset()
+        for _ in range(self.config.warmup_cycles):
+            self.generator.step_symbolic()
+        per_cycle: List[List[int]] = []
+        for _ in range(self.config.chain_length):
+            self.generator.step_symbolic()
+            per_cycle.append(self.shifter.symbolic(self.generator.symbolic))
+        return per_cycle
+
+    def solve_cube(
+        self, care_bits: Dict[Tuple[int, int], int]
+    ) -> Optional[List[int]]:
+        """Solve for channel inputs reproducing ``{(chain, position): value}``.
+
+        ``position`` counts from scan-in: the flop adjacent to scan-in is
+        position 0 and receives the *last* shifted bit.  Returns the
+        variable assignment (one bit per channel per cycle) or None when
+        the cube is not encodable.
+        """
+        equations = self.cell_equations()
+        chain_length = self.config.chain_length
+        system = GF2System(self.config.variables_per_pattern)
+        for (chain, position), value in sorted(care_bits.items()):
+            if not 0 <= chain < self.config.n_chains:
+                raise ValueError(f"chain {chain} out of range")
+            if not 0 <= position < chain_length:
+                raise ValueError(f"cell position {position} out of range")
+            # The bit entering at shift cycle c ends at position L-1-c.
+            cycle = chain_length - 1 - position
+            if not system.add_equation(equations[cycle][chain], value):
+                return None
+        return system.solve()
+
+    # ------------------------------------------------------------------
+    # Concrete: expand channel data to scan loads
+    # ------------------------------------------------------------------
+
+    def variables_to_channel_stream(
+        self, variables: Sequence[int]
+    ) -> List[List[int]]:
+        """Reshape the flat solution into ``stream[cycle][channel]``."""
+        n = self.config.n_channels
+        total_cycles = self.config.chain_length + self.config.warmup_cycles
+        return [
+            list(variables[cycle * n : (cycle + 1) * n])
+            for cycle in range(total_cycles)
+        ]
+
+    def expand(self, variables: Sequence[int]) -> List[List[int]]:
+        """Concrete decompression: returns ``load[chain][position]``.
+
+        Position 0 is the cell next to scan-in, matching
+        :meth:`solve_cube`'s coordinates.
+        """
+        stream = self.variables_to_channel_stream(variables)
+        self.generator.reset()
+        loads: List[List[int]] = [
+            [0] * self.config.chain_length for _ in range(self.config.n_chains)
+        ]
+        warmup = self.config.warmup_cycles
+        for cycle in range(warmup):
+            self.generator.step_concrete(stream[cycle])
+        for cycle in range(self.config.chain_length):
+            self.generator.step_concrete(stream[warmup + cycle])
+            chain_bits = self.shifter.concrete(self.generator.state_bits)
+            position = self.config.chain_length - 1 - cycle
+            for chain in range(self.config.n_chains):
+                loads[chain][position] = chain_bits[chain]
+        return loads
+
+    def verify(self, care_bits: Dict[Tuple[int, int], int], variables: Sequence[int]) -> bool:
+        """Check an expansion honours every care bit (test helper)."""
+        loads = self.expand(variables)
+        return all(
+            loads[chain][position] == value
+            for (chain, position), value in care_bits.items()
+        )
+
+
+def encoding_probability(
+    config: EdtConfig, care_bit_counts: Sequence[int], seed: int = 0
+) -> List[Tuple[int, float]]:
+    """Monte-Carlo encoding success rate vs. care-bit count (E5 driver).
+
+    For each count, draws random cubes (random cells, random values) and
+    reports the fraction that solve.
+    """
+    import random as _random
+
+    rng = _random.Random(seed)
+    decompressor = Decompressor(config)
+    equations = decompressor.cell_equations()
+    chain_length = config.chain_length
+    results: List[Tuple[int, float]] = []
+    cells = [
+        (chain, position)
+        for chain in range(config.n_chains)
+        for position in range(chain_length)
+    ]
+    trials = 50
+    for count in care_bit_counts:
+        count = min(count, len(cells))
+        successes = 0
+        for _ in range(trials):
+            chosen = rng.sample(cells, count)
+            system = GF2System(config.variables_per_pattern)
+            ok = True
+            for chain, position in chosen:
+                cycle = chain_length - 1 - position
+                if not system.add_equation(equations[cycle][chain], rng.randint(0, 1)):
+                    ok = False
+                    break
+            if ok:
+                successes += 1
+        results.append((count, successes / trials))
+    return results

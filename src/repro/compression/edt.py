@@ -1,0 +1,213 @@
+"""End-to-end compressed-scan (EDT) flow over a scan design.
+
+:class:`EdtSystem` ties together the pieces:
+
+* the :class:`~repro.scan.insertion.ScanDesign` (internal chains),
+* a :class:`~repro.compression.decompressor.Decompressor` on the stimulus
+  side (test cubes are *encoded* into channel streams),
+* an :class:`~repro.compression.compactor.XorCompactor` on the response
+  side (with optional X-masking),
+
+and exposes the pattern-level operations the E4 experiment measures:
+encode a cube set, expand it back, fault-simulate through the compactor,
+and report compression statistics against bypass (uncompressed) scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.values import X
+from ..scan.insertion import ScanDesign
+from ..scan.timing import ScanCost, compressed_scan_cost, compression_ratio, scan_cost
+from .compactor import CompactorConfig, XorCompactor
+from .decompressor import Decompressor, EdtConfig
+
+
+@dataclass
+class EncodedPattern:
+    """One compressed pattern: channel stream + uncompressed PI part."""
+
+    pi_bits: List[int]
+    channel_stream: List[List[int]]  # [cycle][channel]
+    expanded_state: List[int]  # decompressed flop load, netlist flop order
+
+
+@dataclass
+class EdtEncodingResult:
+    """Cube-set encoding outcome and the compression bookkeeping."""
+
+    encoded: List[EncodedPattern] = field(default_factory=list)
+    failed_cubes: List[int] = field(default_factory=list)  # cube indices
+    care_bits_total: int = 0
+
+    @property
+    def encoding_success_rate(self) -> float:
+        total = len(self.encoded) + len(self.failed_cubes)
+        return len(self.encoded) / total if total else 1.0
+
+
+class EdtSystem:
+    """Compression wrapper around a scan-inserted netlist."""
+
+    def __init__(
+        self,
+        design: ScanDesign,
+        n_input_channels: int = 2,
+        n_output_channels: int = 2,
+        generator_length: int = 24,
+        seed: int = 1,
+    ):
+        self.design = design
+        self.config = EdtConfig(
+            n_channels=n_input_channels,
+            n_chains=design.n_chains,
+            chain_length=design.max_chain_length,
+            generator_length=generator_length,
+            seed=seed,
+        )
+        self.decompressor = Decompressor(self.config)
+        self.compactor = XorCompactor(
+            CompactorConfig(
+                n_chains=design.n_chains,
+                n_channels=n_output_channels,
+                seed=seed + 7,
+            )
+        )
+        self.n_output_channels = n_output_channels
+
+    # ------------------------------------------------------------------
+    # Stimulus side
+    # ------------------------------------------------------------------
+
+    def cube_to_care_bits(
+        self, cube: Sequence[int]
+    ) -> Tuple[List[int], Dict[Tuple[int, int], int]]:
+        """Split a view cube into (PI part, {(chain, position): value}).
+
+        The cube is in the scan netlist's combinational-view order (PIs then
+        flops); specified flop bits become scan-cell care bits.
+        """
+        netlist = self.design.netlist
+        n_pi = len(netlist.inputs)
+        pi_part = list(cube[:n_pi])
+        care: Dict[Tuple[int, int], int] = {}
+        for flop, value in zip(netlist.flops, cube[n_pi:]):
+            if value == X:
+                continue
+            chain, position = self.design.flop_position[flop]
+            care[(chain, position)] = value
+        return pi_part, care
+
+    def encode_cubes(self, cubes: Sequence[Sequence[int]]) -> EdtEncodingResult:
+        """Encode every cube; unencodable cubes are reported, not dropped
+        silently (callers typically split or top-up with bypass patterns).
+        """
+        result = EdtEncodingResult()
+        for index, cube in enumerate(cubes):
+            pi_part, care = self.cube_to_care_bits(cube)
+            result.care_bits_total += len(care) + sum(
+                1 for v in pi_part if v != X
+            )
+            variables = self.decompressor.solve_cube(care)
+            if variables is None:
+                result.failed_cubes.append(index)
+                continue
+            stream = self.decompressor.variables_to_channel_stream(variables)
+            loads = self.decompressor.expand(variables)
+            state = self.loads_to_state(loads)
+            pi_filled = [0 if v == X else v for v in pi_part]
+            result.encoded.append(
+                EncodedPattern(
+                    pi_bits=pi_filled,
+                    channel_stream=stream,
+                    expanded_state=state,
+                )
+            )
+        return result
+
+    def loads_to_state(self, loads: Sequence[Sequence[int]]) -> List[int]:
+        """Convert per-chain cell loads into netlist flop order."""
+        by_flop: Dict[int, int] = {}
+        for chain_id, chain in enumerate(self.design.chains):
+            for position, flop in enumerate(chain):
+                by_flop[flop] = loads[chain_id][position]
+        return [by_flop[flop] for flop in self.design.netlist.flops]
+
+    def expanded_patterns(self, result: EdtEncodingResult) -> List[List[int]]:
+        """Full-scan-view patterns realized by the encoded set.
+
+        These are what actually gets applied on silicon — fault simulation
+        of them grades the compressed test.
+        """
+        return [
+            encoded.pi_bits + encoded.expanded_state for encoded in result.encoded
+        ]
+
+    # ------------------------------------------------------------------
+    # Response side
+    # ------------------------------------------------------------------
+
+    def response_to_chain_streams(
+        self, state_response: Sequence[int]
+    ) -> List[List[int]]:
+        """Arrange a captured flop state into per-chain unload streams."""
+        return self.design.state_to_chain_bits(list(state_response))
+
+    def compact_response(
+        self,
+        state_response: Sequence[int],
+        mask: Optional[Sequence[int]] = None,
+    ) -> List[List[int]]:
+        """Compacted per-cycle channel outputs for one captured state."""
+        streams = self.response_to_chain_streams(state_response)
+        return self.compactor.compact_unload(streams, mask)
+
+    def fault_visible_through_compactor(
+        self,
+        good_state: Sequence[int],
+        faulty_state: Sequence[int],
+        mask: Optional[Sequence[int]] = None,
+    ) -> bool:
+        """Does a faulty capture remain observable after compaction?"""
+        return self.compactor.observable_difference(
+            self.response_to_chain_streams(good_state),
+            self.response_to_chain_streams(faulty_state),
+            mask,
+        )
+
+    # ------------------------------------------------------------------
+    # Cost reporting
+    # ------------------------------------------------------------------
+
+    def cost_versus_bypass(
+        self, n_patterns: int, bypass_chains: int = 1
+    ) -> Dict[str, object]:
+        """E4 row: compressed vs. bypass-scan cost for ``n_patterns``."""
+        netlist = self.design.netlist
+        n_flops = len(netlist.flops)
+        # Scan-in pins and scan_enable are not tester stimulus: the flop
+        # loads they deliver are already counted, and under EDT the channels
+        # replace them entirely.  Only functional PIs/POs remain.
+        n_pis = len(netlist.inputs) - len(self.design.scan_inputs) - 1
+        n_pos = len(netlist.outputs) - len(self.design.scan_outputs)
+        bypass = scan_cost(n_patterns, n_flops, bypass_chains, n_pis, n_pos)
+        compressed = compressed_scan_cost(
+            n_patterns,
+            n_flops,
+            self.design.n_chains,
+            self.config.n_channels,
+            self.n_output_channels,
+            n_pis,
+            n_pos,
+        )
+        ratios = compression_ratio(bypass, compressed)
+        return {
+            "patterns": n_patterns,
+            "bypass_cycles": bypass.test_cycles,
+            "edt_cycles": compressed.test_cycles,
+            "bypass_bits": bypass.data_volume_bits,
+            "edt_bits": compressed.data_volume_bits,
+            **{k: round(v, 2) for k, v in ratios.items()},
+        }

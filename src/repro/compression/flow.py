@@ -1,0 +1,184 @@
+"""Integrated compressed-pattern generation (EDT-ATPG co-generation).
+
+Encoding test cubes *after* ATPG loses the incidental detections that the
+ATPG's own pattern fill earned, because the decompressor fills don't-care
+bits with its own pseudo-random data.  Production EDT therefore integrates
+the two: every PODEM cube is encoded immediately, the *decompressed*
+pattern (with the ring generator's fill) is what gets fault-simulated, and
+fault dropping proceeds on exactly what the tester will apply.
+
+:func:`run_compressed_atpg` implements that loop, with a bypass bucket for
+the rare cube the channel capacity cannot encode (real flows apply those
+few patterns through an uncompressed bypass mode).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..atpg.podem import Podem
+from ..atpg.engine import x_fill
+from ..atpg.random_gen import random_patterns
+from ..faults.collapse import collapse_faults
+from ..faults.model import StuckAtFault
+from ..faults.stuck_at import full_fault_list
+from ..scan.insertion import ScanDesign
+from ..sim.faultsim import FaultSimulator
+from .edt import EdtSystem, EncodedPattern
+
+
+@dataclass
+class CompressedAtpgResult:
+    """Outcome of the integrated EDT-ATPG loop."""
+
+    encoded: List[EncodedPattern] = field(default_factory=list)
+    bypass_patterns: List[List[int]] = field(default_factory=list)
+    applied_patterns: List[List[int]] = field(default_factory=list)  # as on silicon
+    total_faults: int = 0
+    detected: int = 0
+    untestable: int = 0
+    aborted: int = 0
+    unencodable: int = 0
+    cpu_seconds: float = 0.0
+
+    @property
+    def fault_coverage(self) -> float:
+        if self.total_faults == 0:
+            return 1.0
+        return self.detected / self.total_faults
+
+    @property
+    def test_coverage(self) -> float:
+        testable = self.total_faults - self.untestable
+        if testable <= 0:
+            return 1.0
+        return self.detected / testable
+
+    def summary(self) -> dict:
+        return {
+            "encoded_patterns": len(self.encoded),
+            "bypass_patterns": len(self.bypass_patterns),
+            "faults": self.total_faults,
+            "fault_coverage": round(self.fault_coverage, 4),
+            "test_coverage": round(self.test_coverage, 4),
+            "untestable": self.untestable,
+            "aborted": self.aborted,
+            "unencodable": self.unencodable,
+            "cpu_s": round(self.cpu_seconds, 3),
+        }
+
+
+def run_compressed_atpg(
+    edt: EdtSystem,
+    faults: Optional[Sequence[StuckAtFault]] = None,
+    random_pattern_budget: int = 128,
+    backtrack_limit: int = 64,
+    seed: int = 0,
+) -> CompressedAtpgResult:
+    """Generate compressed patterns with fault dropping on decompressed data.
+
+    Phase 1 applies PRPG-style random *encoded* patterns (random channel
+    data expanded through the decompressor — free on a real tester).
+    Phase 2 runs PODEM per surviving fault, encodes the cube, expands it,
+    and fault-simulates the expansion; unencodable cubes fall back to an
+    X-filled bypass pattern.
+    """
+    start = time.perf_counter()
+    design = edt.design
+    netlist = design.netlist
+    if faults is None:
+        faults, _ = collapse_faults(netlist, full_fault_list(netlist))
+    simulator = FaultSimulator(netlist)
+    rng = random.Random(seed)
+    result = CompressedAtpgResult(total_faults=len(faults))
+    remaining = list(faults)
+    n_pi = len(netlist.inputs)
+
+    # ------------------------------------------------------------------
+    # Phase 1: random channel data -> decompressed pseudo-random patterns.
+    # ------------------------------------------------------------------
+    n_vars = edt.config.variables_per_pattern
+    for _ in range(random_pattern_budget):
+        if not remaining:
+            break
+        variables = [rng.randint(0, 1) for _ in range(n_vars)]
+        loads = edt.decompressor.expand(variables)
+        state = edt.loads_to_state(loads)
+        pi_bits = [rng.randint(0, 1) for _ in range(n_pi)]
+        pattern = pi_bits + state
+        sim = simulator.simulate([pattern], remaining, drop=True)
+        if sim.detected:
+            result.applied_patterns.append(pattern)
+            result.encoded.append(
+                EncodedPattern(
+                    pi_bits=pi_bits,
+                    channel_stream=edt.decompressor.variables_to_channel_stream(
+                        variables
+                    ),
+                    expanded_state=state,
+                )
+            )
+            result.detected += len(sim.detected)
+            remaining = [f for f in remaining if f not in sim.detected]
+
+    # ------------------------------------------------------------------
+    # Phase 2: deterministic cubes, encoded one at a time.
+    # ------------------------------------------------------------------
+    podem = Podem(netlist, backtrack_limit=backtrack_limit)
+    undetected = set(remaining)
+    for fault in remaining:
+        if fault not in undetected:
+            continue
+        outcome = podem.generate(fault)
+        if outcome.status == "untestable":
+            result.untestable += 1
+            undetected.discard(fault)
+            continue
+        if outcome.status == "aborted":
+            result.aborted += 1
+            undetected.discard(fault)
+            continue
+        cube = outcome.cube
+        assert cube is not None
+        pi_part, care = edt.cube_to_care_bits(cube)
+        variables = edt.decompressor.solve_cube(care)
+        if variables is None:
+            # Channel capacity exceeded: apply through bypass scan.
+            result.unencodable += 1
+            pattern = x_fill(cube, rng, "random")
+            result.bypass_patterns.append(pattern)
+        else:
+            loads = edt.decompressor.expand(variables)
+            state = edt.loads_to_state(loads)
+            pi_bits = [v if v in (0, 1) else rng.randint(0, 1) for v in pi_part]
+            pattern = pi_bits + state
+            result.encoded.append(
+                EncodedPattern(
+                    pi_bits=pi_bits,
+                    channel_stream=edt.decompressor.variables_to_channel_stream(
+                        variables
+                    ),
+                    expanded_state=state,
+                )
+            )
+        result.applied_patterns.append(pattern)
+        sim = simulator.simulate([pattern], list(undetected), drop=True)
+        result.detected += len(sim.detected)
+        for detected_fault in sim.detected:
+            undetected.discard(detected_fault)
+        if fault in undetected:
+            # Encoded fill diverged from the cube's intent — possible only
+            # for bypass-path randomness; retry once with the bypass fill.
+            undetected.discard(fault)
+            retry = x_fill(cube, rng, "random")
+            sim = simulator.simulate([retry], [fault], drop=True)
+            if sim.detected:
+                result.bypass_patterns.append(retry)
+                result.applied_patterns.append(retry)
+                result.detected += 1
+
+    result.cpu_seconds = time.perf_counter() - start
+    return result

@@ -1,0 +1,135 @@
+"""X-compact: X-tolerant spatial compaction (Mitra & Kim).
+
+A plain XOR compactor loses every detection in a group the moment one
+chain unloads an X.  X-compact instead fans **each chain into several
+output channels**, choosing the channel subsets (the compactor matrix
+rows) as *distinct constant-weight codewords*.  Two properties follow:
+
+* **single-error visibility under one X chain** — equal-weight distinct
+  sets are never subsets of each other, so an erroring chain always owns
+  at least one channel the X chain does not poison;
+* **error localization** — a single failing chain flips exactly its own
+  channel subset, so the syndrome *is* the chain's codeword.
+
+This is the standard alternative to masking when X density is low.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from math import comb
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.values import X, ZERO
+
+
+@dataclass(frozen=True)
+class XCompactConfig:
+    """Geometry: chains into channels with constant-weight rows."""
+
+    n_chains: int
+    n_channels: int
+    row_weight: int = 3
+
+    def __post_init__(self):
+        if self.row_weight < 1 or self.row_weight > self.n_channels:
+            raise ValueError("row weight must be in [1, n_channels]")
+        capacity = comb(self.n_channels, self.row_weight)
+        if self.n_chains > capacity:
+            raise ValueError(
+                f"{self.n_channels} channels at weight {self.row_weight} "
+                f"support at most {capacity} chains, got {self.n_chains}"
+            )
+
+
+class XCompactor:
+    """Constant-weight-code spatial compactor."""
+
+    def __init__(self, config: XCompactConfig):
+        self.config = config
+        self.rows: List[Tuple[int, ...]] = list(
+            combinations(range(config.n_channels), config.row_weight)
+        )[: config.n_chains]
+        self._row_index: Dict[Tuple[int, ...], int] = {
+            row: chain for chain, row in enumerate(self.rows)
+        }
+
+    # ------------------------------------------------------------------
+
+    def compact_slice(self, chain_bits: Sequence[int]) -> List[int]:
+        """One shift cycle: 4-valued chain bits -> channel values."""
+        outputs: List[int] = []
+        for channel in range(self.config.n_channels):
+            acc = ZERO
+            for chain, row in enumerate(self.rows):
+                if channel not in row:
+                    continue
+                bit = chain_bits[chain]
+                if bit == X:
+                    acc = X
+                elif acc != X:
+                    acc ^= bit
+            outputs.append(acc)
+        return outputs
+
+    def compact_unload(
+        self, chain_streams: Sequence[Sequence[int]]
+    ) -> List[List[int]]:
+        """Compact a full unload: ``streams[chain][cycle]``."""
+        if not chain_streams:
+            return []
+        n_cycles = max(len(stream) for stream in chain_streams)
+        return [
+            self.compact_slice(
+                [
+                    stream[cycle] if cycle < len(stream) else ZERO
+                    for stream in chain_streams
+                ]
+            )
+            for cycle in range(n_cycles)
+        ]
+
+    def observable_difference(
+        self,
+        good_streams: Sequence[Sequence[int]],
+        faulty_streams: Sequence[Sequence[int]],
+    ) -> bool:
+        """Does the compacted faulty response differ where both are known?"""
+        good = self.compact_unload(good_streams)
+        faulty = self.compact_unload(faulty_streams)
+        for good_slice, faulty_slice in zip(good, faulty):
+            for g, f in zip(good_slice, faulty_slice):
+                if g != X and f != X and g != f:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def locate_failing_chain(
+        self,
+        good_streams: Sequence[Sequence[int]],
+        faulty_streams: Sequence[Sequence[int]],
+    ) -> Optional[int]:
+        """Decode a single-chain failure from the channel syndrome.
+
+        Collects the set of channels that miscompare on any cycle; if that
+        syndrome equals one row's codeword, returns the chain.  Multiple-
+        chain failures generally produce unmatched syndromes (None).
+        """
+        good = self.compact_unload(good_streams)
+        faulty = self.compact_unload(faulty_streams)
+        syndrome: set = set()
+        for good_slice, faulty_slice in zip(good, faulty):
+            for channel, (g, f) in enumerate(zip(good_slice, faulty_slice)):
+                if g != X and f != X and g != f:
+                    syndrome.add(channel)
+        return self._row_index.get(tuple(sorted(syndrome)))
+
+
+def minimum_channels(n_chains: int, row_weight: int = 3) -> int:
+    """Fewest channels supporting ``n_chains`` at the given row weight."""
+    channels = row_weight
+    while comb(channels, row_weight) < n_chains:
+        channels += 1
+    return channels

@@ -1,0 +1,192 @@
+"""Scan-chain diagnosis: locating defects *inside* the shift path.
+
+A stuck-at defect in a scan chain corrupts every bit that shifts through
+it, so ordinary (capture-fault) diagnosis is blind — the tester sees
+garbage on a whole chain.  The classic two-step flow (Guo & Venkataraman):
+
+1. the **flush test** fingerprints the faulty chain and the stuck polarity
+   (the chain unloads a constant);
+2. candidate **position simulation**: for each suspected cell position,
+   model the corrupted load (cells at or beyond the defect take the stuck
+   value), run the functional capture, model the corrupted unload (cells
+   at or before the defect read back stuck), and score against the
+   tester's observed unloads.  The position whose predictions match wins.
+
+Coordinates follow :class:`~repro.scan.insertion.ScanDesign`: position 0
+is the cell next to scan-in; during load bits travel 0 → L-1, during
+unload they travel toward scan-out behind cell L-1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.values import ONE, ZERO
+from ..scan.insertion import ScanDesign
+from ..sim.logicsim import LogicSimulator
+
+
+@dataclass(frozen=True)
+class ChainDefect:
+    """A stuck shift-path cell: chain, position (0 = next to scan-in), value."""
+
+    chain: int
+    position: int
+    value: int
+
+    def describe(self) -> str:
+        return f"chain {self.chain} cell {self.position} shift-path s-a-{self.value}"
+
+
+class ChainDefectModel:
+    """Applies a chain defect's corruption to loads, unloads, and patterns."""
+
+    def __init__(self, design: ScanDesign, defect: ChainDefect):
+        if not 0 <= defect.chain < design.n_chains:
+            raise ValueError(f"chain {defect.chain} out of range")
+        if not 0 <= defect.position < len(design.chains[defect.chain]):
+            raise ValueError(f"position {defect.position} out of range")
+        self.design = design
+        self.defect = defect
+        self.logic = LogicSimulator(design.netlist)
+
+    def corrupt_load(self, state: Sequence[int]) -> List[int]:
+        """State actually latched after shifting through the defect.
+
+        Bits destined for positions >= the defect pass through the stuck
+        cell on their way in, so they (and the stuck cell) read the stuck
+        value.
+        """
+        corrupted = list(state)
+        chain = self.design.chains[self.defect.chain]
+        flop_order = {flop: i for i, flop in enumerate(self.design.netlist.flops)}
+        for position in range(self.defect.position, len(chain)):
+            corrupted[flop_order[chain[position]]] = self.defect.value
+        return corrupted
+
+    def corrupt_unload(self, state: Sequence[int]) -> List[int]:
+        """Unloaded image of a captured state.
+
+        Bits from positions <= the defect must shift *through* the stuck
+        cell on their way out, so the tester reads the stuck value there.
+        """
+        corrupted = list(state)
+        chain = self.design.chains[self.defect.chain]
+        flop_order = {flop: i for i, flop in enumerate(self.design.netlist.flops)}
+        for position in range(0, self.defect.position + 1):
+            corrupted[flop_order[chain[position]]] = self.defect.value
+        return corrupted
+
+    def apply_pattern(self, pattern: Sequence[int]) -> List[int]:
+        """Tester-visible unload for one combinational pattern."""
+        netlist = self.design.netlist
+        n_pi = len(netlist.inputs)
+        pi_part = [v if v in (0, 1) else 0 for v in pattern[:n_pi]]
+        load = [v if v in (0, 1) else 0 for v in pattern[n_pi:]]
+        latched = self.corrupt_load(load)
+        step = self.logic.step(pi_part, latched, scan_shift=False)
+        return self.corrupt_unload(step["state"])
+
+    def flush_signature(self) -> List[int]:
+        """What the flush test reads from the faulty chain: all stuck."""
+        return [self.defect.value] * len(self.design.chains[self.defect.chain])
+
+
+@dataclass
+class ChainDiagnosisResult:
+    """Outcome of chain diagnosis for one failing die."""
+
+    chain: Optional[int] = None
+    stuck_value: Optional[int] = None
+    ranked_positions: List[Tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def best_positions(self) -> List[int]:
+        if not self.ranked_positions:
+            return []
+        best = self.ranked_positions[0][1]
+        return [p for p, score in self.ranked_positions if score == best]
+
+
+class ChainDiagnoser:
+    """Flush fingerprinting + per-position simulation matching."""
+
+    def __init__(self, design: ScanDesign):
+        self.design = design
+        self.logic = LogicSimulator(design.netlist)
+
+    def identify_chain(
+        self, flush_unloads: Sequence[Sequence[int]]
+    ) -> Optional[Tuple[int, int]]:
+        """(chain, stuck value) from per-chain flush results, or None.
+
+        The flush pattern alternates 0011; a chain whose unload is constant
+        carries a shift-path stuck-at of that constant.
+        """
+        for chain_id, unload in enumerate(flush_unloads):
+            values = set(unload)
+            if len(unload) > 1 and len(values) == 1:
+                value = unload[0]
+                if value in (0, 1):
+                    return chain_id, value
+        return None
+
+    def diagnose(
+        self,
+        patterns: Sequence[Sequence[int]],
+        observed_unloads: Sequence[Sequence[int]],
+        flush_unloads: Sequence[Sequence[int]],
+    ) -> ChainDiagnosisResult:
+        """Locate the stuck cell from flush + capture-pattern unloads.
+
+        ``observed_unloads[i]`` is the full flop-state image (netlist flop
+        order) the tester read back after applying ``patterns[i]``.
+        """
+        result = ChainDiagnosisResult()
+        fingerprint = self.identify_chain(flush_unloads)
+        if fingerprint is None:
+            return result
+        chain_id, value = fingerprint
+        result.chain, result.stuck_value = chain_id, value
+
+        chain_length = len(self.design.chains[chain_id])
+        scored: List[Tuple[int, float]] = []
+        for position in range(chain_length):
+            defect = ChainDefect(chain_id, position, value)
+            model = ChainDefectModel(self.design, defect)
+            matches = 0
+            total = 0
+            for pattern, observed in zip(patterns, observed_unloads):
+                predicted = model.apply_pattern(pattern)
+                matches += sum(
+                    1 for p, o in zip(predicted, observed) if p == o
+                )
+                total += len(predicted)
+            scored.append((position, matches / total if total else 0.0))
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        result.ranked_positions = scored
+        return result
+
+
+def observe_defective_die(
+    design: ScanDesign,
+    defect: ChainDefect,
+    patterns: Sequence[Sequence[int]],
+) -> Tuple[List[List[int]], List[List[int]]]:
+    """Produce (flush unloads, per-pattern unloads) for an injected defect.
+
+    The test-side twin of :class:`ChainDiagnoser` used by tests and the
+    E-suite: simulates what the tester would log from a die carrying
+    ``defect``.
+    """
+    model = ChainDefectModel(design, defect)
+    flush: List[List[int]] = []
+    for chain_id, chain in enumerate(design.chains):
+        if chain_id == defect.chain:
+            flush.append(model.flush_signature())
+        else:
+            pattern = [0, 0, 1, 1] * (len(chain) // 4 + 1)
+            flush.append(pattern[: len(chain)])
+    unloads = [model.apply_pattern(pattern) for pattern in patterns]
+    return flush, unloads

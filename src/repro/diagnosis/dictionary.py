@@ -1,0 +1,100 @@
+"""Fault-dictionary diagnosis.
+
+The pre-computed approach: fault-simulate every candidate fault against the
+production pattern set *without dropping*, store each fault's failure
+signature (which outputs fail on which patterns), and at debug time match
+the tester's observed failures against the dictionary.
+
+Exact matches give the best resolution; partial matching (Jaccard ranking)
+handles defects that behave only approximately like a single stuck-at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..faults.model import StuckAtFault
+from ..sim.faultsim import FaultSimulator
+
+#: A failure observation: set of (pattern index, output position) pairs.
+Failures = Set[Tuple[int, int]]
+
+
+def signature_to_failures(signature: Dict[int, Tuple[int, ...]]) -> Failures:
+    """Flatten a per-pattern signature into (pattern, output) pairs."""
+    return {
+        (pattern, output)
+        for pattern, outputs in signature.items()
+        for output in outputs
+    }
+
+
+@dataclass
+class FaultDictionary:
+    """Signatures for a candidate fault universe under one pattern set."""
+
+    patterns: List[List[int]]
+    entries: Dict[StuckAtFault, Failures] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        simulator: FaultSimulator,
+        patterns: Sequence[Sequence[int]],
+        faults: Sequence[StuckAtFault],
+    ) -> "FaultDictionary":
+        """Full-response dictionary (no fault dropping)."""
+        dictionary = cls(patterns=[list(p) for p in patterns])
+        for fault in faults:
+            signature = simulator.failure_signature(dictionary.patterns, fault)
+            dictionary.entries[fault] = signature_to_failures(signature)
+        return dictionary
+
+    def lookup(self, observed: Failures, top: int = 5) -> List[Tuple[StuckAtFault, float]]:
+        """Rank candidates by Jaccard similarity to the observation.
+
+        Exact matches score 1.0.  Faults that never fail are skipped unless
+        the observation is also empty.
+        """
+        ranked: List[Tuple[StuckAtFault, float]] = []
+        for fault, failures in self.entries.items():
+            if not failures and not observed:
+                ranked.append((fault, 1.0))
+                continue
+            union = failures | observed
+            if not union:
+                continue
+            score = len(failures & observed) / len(union)
+            if score > 0.0:
+                ranked.append((fault, score))
+        ranked.sort(key=lambda item: (-item[1], item[0]))
+        return ranked[:top]
+
+    def exact_matches(self, observed: Failures) -> List[StuckAtFault]:
+        """Candidates whose signature equals the observation exactly."""
+        return sorted(
+            fault for fault, failures in self.entries.items() if failures == observed
+        )
+
+    def equivalence_classes(self) -> List[List[StuckAtFault]]:
+        """Faults indistinguishable under this pattern set.
+
+        Dictionary resolution = average class size; more patterns (or more
+        observation points) shrink the classes.
+        """
+        by_signature: Dict[frozenset, List[StuckAtFault]] = {}
+        for fault, failures in self.entries.items():
+            by_signature.setdefault(frozenset(failures), []).append(fault)
+        return sorted(by_signature.values(), key=len, reverse=True)
+
+    def diagnostic_resolution(self) -> float:
+        """Average suspects returned for an exact-match lookup (1.0 = ideal)."""
+        classes = self.equivalence_classes()
+        if not classes:
+            return 1.0
+        detected_classes = [c for c in classes if self.entries[c[0]]]
+        if not detected_classes:
+            return float(len(self.entries)) or 1.0
+        total = sum(len(c) for c in detected_classes)
+        return total / len(detected_classes)

@@ -1,0 +1,75 @@
+"""Bridging-fault enumeration.
+
+Real bridge defects occur between physically adjacent wires.  Without
+layout, the standard academic proxy is to sample net pairs that are close in
+the structural graph (sharing a fanout region or near in level), which this
+module does deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Netlist
+from .model import BridgingFault
+
+_KINDS = ("and", "or", "dom_a", "dom_b")
+
+
+def candidate_nets(netlist: Netlist) -> List[int]:
+    """Nets eligible for bridging: every driven logic signal."""
+    return [
+        gate.index
+        for gate in netlist.gates
+        if gate.type not in (GateType.OUTPUT,)
+    ]
+
+
+def sample_bridging_faults(
+    netlist: Netlist,
+    count: int,
+    seed: int = 0,
+    kinds: Sequence[str] = _KINDS,
+    max_level_gap: int = 3,
+) -> List[BridgingFault]:
+    """Sample ``count`` plausible bridges between level-adjacent nets.
+
+    Pairs are drawn with both nets within ``max_level_gap`` logic levels of
+    each other (a crude adjacency proxy), never bridging a net to itself or
+    to its own direct fanin (which would often just be a feedback latch).
+    """
+    netlist.finalize()
+    rng = random.Random(seed)
+    nets = candidate_nets(netlist)
+    by_level: dict = {}
+    for index in nets:
+        by_level.setdefault(netlist.gates[index].level, []).append(index)
+    levels = sorted(by_level)
+    faults: List[BridgingFault] = []
+    seen = set()
+    attempts = 0
+    while len(faults) < count and attempts < count * 50:
+        attempts += 1
+        level = rng.choice(levels)
+        nearby = [
+            net
+            for l in levels
+            if abs(l - level) <= max_level_gap
+            for net in by_level[l]
+        ]
+        if len(nearby) < 2:
+            continue
+        net_a, net_b = rng.sample(nearby, 2)
+        if net_a > net_b:
+            net_a, net_b = net_b, net_a
+        if net_b in netlist.gates[net_a].fanin or net_a in netlist.gates[net_b].fanin:
+            continue
+        kind = rng.choice(list(kinds))
+        fault = BridgingFault(net_a, net_b, kind)
+        if fault in seen:
+            continue
+        seen.add(fault)
+        faults.append(fault)
+    return faults

@@ -1,0 +1,228 @@
+"""Path-delay fault model.
+
+At-speed test of AI datapaths ultimately cares about *paths*: a chip whose
+every gate switches within spec can still fail timing along a long
+multiplier carry chain.  The model here provides:
+
+* **structural path enumeration**, longest-first (gate count as the delay
+  proxy), from launch points (PIs, flop outputs) to capture points (PO
+  drivers, flop D pins);
+* **test classification** for a vector pair against a path, after
+  Lin-Reddy: a *robust* test detects the path's delay regardless of delays
+  elsewhere (side inputs steady at non-controlling values); a *non-robust*
+  test requires only final non-controlling side values and can be
+  invalidated by other slow paths.
+
+XOR-family gates propagate either polarity but demand *steady* side
+inputs in both classes (a side transition re-toggles the output).  MUX
+select inputs must be steady and select the on-path leg.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.gates import GateType, controlling_value
+from ..circuit.netlist import Netlist
+
+#: Classification outcomes, strongest first.
+ROBUST = "robust"
+NON_ROBUST = "non_robust"
+NOT_TESTED = "not_tested"
+
+
+@dataclass(frozen=True)
+class DelayPath:
+    """A structural path: gate indices from launch to capture point."""
+
+    gates: Tuple[int, ...]
+
+    @property
+    def length(self) -> int:
+        """Delay proxy: number of gate traversals after the launch node."""
+        return len(self.gates) - 1
+
+    def describe(self, netlist: Netlist) -> str:
+        return " -> ".join(netlist.gates[g].name for g in self.gates)
+
+
+@dataclass(frozen=True)
+class PathDelayFault:
+    """A path plus the launch transition direction (True = rising)."""
+
+    path: DelayPath
+    rising: bool
+
+    def describe(self, netlist: Netlist) -> str:
+        edge = "rising" if self.rising else "falling"
+        return f"{edge} {self.path.describe(netlist)}"
+
+
+def _capture_points(netlist: Netlist) -> List[int]:
+    points = [netlist.gates[po].fanin[0] for po in netlist.outputs]
+    points += [netlist.gates[ff].fanin[0] for ff in netlist.flops]
+    return points
+
+
+def _launch_points(netlist: Netlist) -> List[int]:
+    return list(netlist.inputs) + list(netlist.flops)
+
+
+def longest_paths(netlist: Netlist, count: int) -> List[DelayPath]:
+    """The ``count`` structurally longest launch-to-capture paths.
+
+    Longest-first DFS guided by each node's maximum remaining depth; ties
+    resolve deterministically by gate index.
+    """
+    netlist.finalize()
+    gates = netlist.gates
+    captures = set(_capture_points(netlist))
+
+    # Max remaining depth to any capture point, over combinational edges.
+    depth: Dict[int, int] = {}
+    for index in reversed(netlist.topo_order):
+        gate = gates[index]
+        best = 0 if index in captures else -1
+        for consumer in gate.fanout:
+            consumer_gate = gates[consumer]
+            if consumer_gate.is_sequential or consumer_gate.type == GateType.OUTPUT:
+                continue
+            if consumer in depth and depth[consumer] >= 0:
+                best = max(best, depth[consumer] + 1)
+        depth[index] = best
+
+    paths: List[DelayPath] = []
+
+    def descend(prefix: List[int]) -> None:
+        if len(paths) >= count:
+            return
+        node = prefix[-1]
+        if node in captures:
+            paths.append(DelayPath(tuple(prefix)))
+            # A capture point may also continue (a flop D driver feeding
+            # more logic) — keep walking for the longer paths too.
+        consumers = [
+            c
+            for c in gates[node].fanout
+            if not gates[c].is_sequential
+            and gates[c].type != GateType.OUTPUT
+            and depth.get(c, -1) >= 0
+        ]
+        consumers.sort(key=lambda c: (-depth[c], c))
+        for consumer in consumers:
+            if len(paths) >= count:
+                return
+            descend(prefix + [consumer])
+
+    launches = sorted(
+        (g for g in _launch_points(netlist) if depth.get(g, -1) >= 0),
+        key=lambda g: (-depth[g], g),
+    )
+    for launch in launches:
+        if len(paths) >= count:
+            break
+        descend([launch])
+    paths.sort(key=lambda p: -p.length)
+    return paths[:count]
+
+
+def _pin_of(netlist: Netlist, gate: int, driver: int) -> int:
+    return netlist.gates[gate].fanin.index(driver)
+
+
+def classify_pair(
+    netlist: Netlist,
+    fault: PathDelayFault,
+    values1: Sequence[int],
+    values2: Sequence[int],
+) -> str:
+    """Classify a vector pair (pre-computed gate values) against a path.
+
+    ``values1``/``values2`` are full 2-valued gate evaluations of the
+    launch and capture vectors.  Returns ``robust``, ``non_robust``, or
+    ``not_tested``.
+    """
+    gates = netlist.gates
+    path = fault.path.gates
+    launch = path[0]
+    if not (
+        values1[launch] == (0 if fault.rising else 1)
+        and values2[launch] == (1 if fault.rising else 0)
+    ):
+        return NOT_TESTED
+
+    robust = True
+    for position in range(1, len(path)):
+        gate_index = path[position]
+        gate = gates[gate_index]
+        on_pin = _pin_of(netlist, gate_index, path[position - 1])
+        # The on-path signal must actually transition at every stage.
+        if values1[gate_index] == values2[gate_index]:
+            return NOT_TESTED
+        control = controlling_value(gate.type)
+        side_pins = [p for p in range(len(gate.fanin)) if p != on_pin]
+        if gate.type == GateType.MUX2:
+            select, when0, when1 = gate.fanin
+            if on_pin == 0:
+                return NOT_TESTED  # select transitions are not path tests here
+            needed_select = 0 if on_pin == 1 else 1
+            if not (
+                values1[select] == values2[select] == needed_select
+            ):
+                return NOT_TESTED
+            continue
+        if control is None:
+            # XOR family (and NOT/BUF with no side pins): side inputs must
+            # be steady in both classes.
+            for pin in side_pins:
+                driver = gate.fanin[pin]
+                if values1[driver] != values2[driver]:
+                    return NOT_TESTED
+            continue
+        noncontrol = 1 - control
+        for pin in side_pins:
+            driver = gate.fanin[pin]
+            if values2[driver] != noncontrol:
+                return NOT_TESTED  # not even non-robustly sensitized
+            if values1[driver] != noncontrol:
+                robust = False  # glitchy side input: non-robust only
+    return ROBUST if robust else NON_ROBUST
+
+
+def evaluate_pair(
+    netlist: Netlist, vector1: Sequence[int], vector2: Sequence[int]
+) -> Tuple[List[int], List[int]]:
+    """Full 2-valued gate evaluations of a launch/capture pair."""
+    from ..sim.parallel import ParallelSimulator
+
+    simulator = ParallelSimulator(netlist)
+    words1 = simulator.evaluate_words([int(b) for b in vector1], 1)
+    words2 = simulator.evaluate_words([int(b) for b in vector2], 1)
+    return words1, words2
+
+
+def grade_paths(
+    netlist: Netlist,
+    faults: Sequence[PathDelayFault],
+    pairs: Sequence[Tuple[Sequence[int], Sequence[int]]],
+) -> Dict[PathDelayFault, str]:
+    """Best classification each path fault achieves over a pair set."""
+    rank = {NOT_TESTED: 0, NON_ROBUST: 1, ROBUST: 2}
+    best: Dict[PathDelayFault, str] = {fault: NOT_TESTED for fault in faults}
+    for vector1, vector2 in pairs:
+        values1, values2 = evaluate_pair(netlist, vector1, vector2)
+        for fault in faults:
+            verdict = classify_pair(netlist, fault, values1, values2)
+            if rank[verdict] > rank[best[fault]]:
+                best[fault] = verdict
+    return best
+
+
+def path_delay_faults(netlist: Netlist, count: int) -> List[PathDelayFault]:
+    """Rising and falling faults on the ``count`` longest paths."""
+    faults: List[PathDelayFault] = []
+    for path in longest_paths(netlist, count):
+        faults.append(PathDelayFault(path, rising=True))
+        faults.append(PathDelayFault(path, rising=False))
+    return faults

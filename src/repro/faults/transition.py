@@ -1,0 +1,24 @@
+"""Transition-delay fault enumeration.
+
+A transition fault asserts that a line cannot switch within one clock: a
+slow-to-rise (STR) line behaves stuck-at-0 in the capture cycle of a
+launch/capture pattern pair, a slow-to-fall (STF) line behaves stuck-at-1.
+The fault universe mirrors the stuck-at line enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuit.netlist import Netlist
+from .model import TransitionFault
+from .stuck_at import fault_sites
+
+
+def full_transition_list(netlist: Netlist) -> List[TransitionFault]:
+    """STR and STF faults on every line of the netlist."""
+    faults: List[TransitionFault] = []
+    for gate, pin in fault_sites(netlist):
+        faults.append(TransitionFault(gate, pin, 1))  # slow-to-rise
+        faults.append(TransitionFault(gate, pin, 0))  # slow-to-fall
+    return faults

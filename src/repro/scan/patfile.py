@@ -1,0 +1,140 @@
+"""Plain-text pattern file I/O (STIL-flavoured tester handoff).
+
+A minimal, diff-friendly interchange format for pattern sets::
+
+    # repro pattern file v1
+    circuit mac4
+    inputs a[0] a[1] ... acc11
+    patterns 24
+    pattern 0 0110X1...   # 0/1/X per view input
+    ...
+
+Responses (when included) follow each pattern line as ``expect`` rows.
+The format survives hand editing and keeps the experiment artifacts
+reviewable in version control — the role STIL/WGL files play between ATPG
+and the test floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..circuit.values import X
+
+_CHAR = {0: "0", 1: "1", X: "X"}
+_VALUE = {"0": 0, "1": 1, "X": X, "x": X}
+
+
+@dataclass
+class PatternFile:
+    """A parsed pattern file."""
+
+    circuit: str
+    input_names: List[str]
+    patterns: List[List[int]] = field(default_factory=list)
+    expects: List[Optional[List[int]]] = field(default_factory=list)
+
+
+class PatternFormatError(ValueError):
+    """Raised when a pattern file cannot be parsed."""
+
+
+def format_patterns(
+    circuit: str,
+    input_names: Sequence[str],
+    patterns: Sequence[Sequence[int]],
+    expects: Optional[Sequence[Sequence[int]]] = None,
+) -> str:
+    """Serialize a pattern set (optionally with expected responses)."""
+    lines = [
+        "# repro pattern file v1",
+        f"circuit {circuit}",
+        f"inputs {' '.join(input_names)}",
+        f"patterns {len(patterns)}",
+    ]
+    for index, pattern in enumerate(patterns):
+        if len(pattern) != len(input_names):
+            raise PatternFormatError(
+                f"pattern {index} width {len(pattern)} != {len(input_names)} inputs"
+            )
+        bits = "".join(_CHAR[v] for v in pattern)
+        lines.append(f"pattern {index} {bits}")
+        if expects is not None:
+            expected = expects[index]
+            lines.append(
+                "expect " + "".join(_CHAR[v] for v in expected)
+            )
+    return "\n".join(lines) + "\n"
+
+
+def parse_patterns(text: str) -> PatternFile:
+    """Parse pattern-file text back into structured form."""
+    circuit = ""
+    input_names: List[str] = []
+    declared = -1
+    patterns: List[List[int]] = []
+    expects: List[Optional[List[int]]] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        keyword = fields[0]
+        if keyword == "circuit":
+            circuit = fields[1] if len(fields) > 1 else ""
+        elif keyword == "inputs":
+            input_names = fields[1:]
+        elif keyword == "patterns":
+            declared = int(fields[1])
+        elif keyword == "pattern":
+            if len(fields) != 3:
+                raise PatternFormatError(
+                    f"line {line_number}: pattern needs index and bits"
+                )
+            bits = fields[2]
+            try:
+                values = [_VALUE[c] for c in bits]
+            except KeyError as exc:
+                raise PatternFormatError(
+                    f"line {line_number}: bad bit {exc.args[0]!r}"
+                ) from None
+            if input_names and len(values) != len(input_names):
+                raise PatternFormatError(
+                    f"line {line_number}: width {len(values)} != "
+                    f"{len(input_names)} declared inputs"
+                )
+            patterns.append(values)
+            expects.append(None)
+        elif keyword == "expect":
+            if not patterns:
+                raise PatternFormatError(
+                    f"line {line_number}: expect before any pattern"
+                )
+            expects[-1] = [_VALUE[c] for c in fields[1]]
+        else:
+            raise PatternFormatError(
+                f"line {line_number}: unknown keyword {keyword!r}"
+            )
+    if declared >= 0 and declared != len(patterns):
+        raise PatternFormatError(
+            f"declared {declared} patterns, found {len(patterns)}"
+        )
+    return PatternFile(
+        circuit=circuit,
+        input_names=input_names,
+        patterns=patterns,
+        expects=expects,
+    )
+
+
+def save_patterns(path: str, *args, **kwargs) -> None:
+    """Format and write a pattern file to disk."""
+    with open(path, "w") as handle:
+        handle.write(format_patterns(*args, **kwargs))
+
+
+def load_patterns(path: str) -> PatternFile:
+    """Read and parse a pattern file from disk."""
+    with open(path) as handle:
+        return parse_patterns(handle.read())

@@ -1,0 +1,20 @@
+"""Simulation engines: 4-valued event-driven, bit-parallel, fault simulation."""
+
+from .faultsim import FaultSimResult, FaultSimulator
+from .logicsim import LogicSimulator
+from .seqfaultsim import LANES_PER_WORD, SequentialFaultSimulator
+from .parallel import WORD_WIDTH, ParallelSimulator, pack_patterns, unpack_word
+from .view import CombinationalView
+
+__all__ = [
+    "LogicSimulator",
+    "ParallelSimulator",
+    "FaultSimulator",
+    "FaultSimResult",
+    "SequentialFaultSimulator",
+    "LANES_PER_WORD",
+    "CombinationalView",
+    "WORD_WIDTH",
+    "pack_patterns",
+    "unpack_word",
+]

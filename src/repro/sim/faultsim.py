@@ -1,0 +1,492 @@
+"""Fault simulation engines.
+
+Two stuck-at engines are provided, matching the E3 experiment:
+
+* **serial** — one fault, one pattern, full-circuit re-evaluation.  The
+  textbook baseline; trivially correct, painfully slow.
+* **ppsfp** — Parallel-Pattern Single-Fault Propagation: 64 patterns per
+  machine word, good machine simulated once per word, each fault then
+  propagated event-wise through its fanout cone only.  With fault dropping
+  this is the production algorithm every commercial fault simulator uses.
+
+Transition-delay (launch-on-capture pairs) and bridging faults reuse the
+same cone machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..circuit.gates import GateType, evaluate_parallel
+from ..circuit.netlist import Netlist
+from ..faults.model import OUTPUT_PIN, BridgingFault, StuckAtFault, TransitionFault
+from .parallel import WORD_WIDTH, ParallelSimulator, pack_patterns
+
+
+@dataclass
+class FaultSimResult:
+    """Outcome of a fault-simulation run.
+
+    ``detected`` maps each detected fault to the index of the first pattern
+    that caught it; ``undetected`` lists survivors.  ``coverage`` is the
+    detected fraction of the simulated universe.
+    """
+
+    total_faults: int
+    detected: Dict[object, int] = field(default_factory=dict)
+    undetected: List[object] = field(default_factory=list)
+    patterns_simulated: int = 0
+
+    @property
+    def coverage(self) -> float:
+        if self.total_faults == 0:
+            return 1.0
+        return len(self.detected) / self.total_faults
+
+    def detections_by_pattern(self) -> Dict[int, int]:
+        """Histogram: pattern index -> number of faults it first detected."""
+        histogram: Dict[int, int] = {}
+        for pattern_index in self.detected.values():
+            histogram[pattern_index] = histogram.get(pattern_index, 0) + 1
+        return histogram
+
+
+class FaultSimulator:
+    """Stuck-at / transition / bridging fault simulation over one netlist."""
+
+    def __init__(self, netlist: Netlist):
+        netlist.finalize()
+        self.netlist = netlist
+        self.parallel = ParallelSimulator(netlist)
+        self.view = self.parallel.view
+        order = netlist.topo_order
+        self._topo_position = [0] * len(netlist.gates)
+        for position, gate_index in enumerate(order):
+            self._topo_position[gate_index] = position
+        # Observation readers and, for branch-into-observation faults, the
+        # set of (reader position -> gate read).
+        self._readers = list(self.view.output_readers)
+        self._reader_set = set(self._readers)
+
+    # ------------------------------------------------------------------
+    # Core cone propagation
+    # ------------------------------------------------------------------
+
+    def _propagate(
+        self,
+        seeds: Dict[int, int],
+        good: Sequence[int],
+        mask: int,
+    ) -> Dict[int, int]:
+        """Propagate faulty words from ``seeds`` through fanout cones.
+
+        ``seeds`` maps gate index -> faulty word (already different from the
+        good word, or the propagation stops immediately).  Returns the map
+        of all gates whose faulty word differs from good.
+        """
+        gates = self.netlist.gates
+        faulty: Dict[int, int] = {}
+        heap: List[Tuple[int, int]] = []
+        enqueued = set()
+
+        def schedule(gate_index: int) -> None:
+            if gate_index not in enqueued:
+                enqueued.add(gate_index)
+                heappush(heap, (self._topo_position[gate_index], gate_index))
+
+        for gate_index, word in seeds.items():
+            if word != good[gate_index]:
+                faulty[gate_index] = word
+                for consumer in gates[gate_index].fanout:
+                    if not gates[consumer].is_sequential:
+                        schedule(consumer)
+
+        while heap:
+            _, gate_index = heappop(heap)
+            enqueued.discard(gate_index)
+            gate = gates[gate_index]
+            inputs = [faulty.get(driver, good[driver]) for driver in gate.fanin]
+            word = evaluate_parallel(gate.type, inputs, mask)
+            if word == good[gate_index]:
+                faulty.pop(gate_index, None)
+                continue
+            if faulty.get(gate_index) == word:
+                continue
+            faulty[gate_index] = word
+            for consumer in gate.fanout:
+                if not gates[consumer].is_sequential:
+                    schedule(consumer)
+        return faulty
+
+    def _stuck_at_seeds(
+        self, fault: StuckAtFault, good: Sequence[int], mask: int
+    ) -> Dict[int, int]:
+        """Initial faulty words for a stuck-at fault."""
+        gates = self.netlist.gates
+        forced = mask if fault.value else 0
+        if fault.pin == OUTPUT_PIN:
+            return {fault.gate: forced}
+        gate = gates[fault.gate]
+        if gate.type == GateType.OUTPUT or gate.is_sequential:
+            # Branch straight into an observation point: handled at readout.
+            return {}
+        inputs = [good[driver] for driver in gate.fanin]
+        inputs[fault.pin] = forced
+        return {fault.gate: evaluate_parallel(gate.type, inputs, mask)}
+
+    def _detection_word(
+        self,
+        fault: StuckAtFault,
+        good: Sequence[int],
+        faulty: Dict[int, int],
+        mask: int,
+    ) -> int:
+        """Patterns (bitmask) on which the fault effect reaches observation."""
+        diff = 0
+        for reader in self._readers:
+            diff |= faulty.get(reader, good[reader]) ^ good[reader]
+        # A branch fault feeding a PO or flop D pin is observed directly at
+        # that single observation position, bypassing the stem value.
+        if fault.pin != OUTPUT_PIN:
+            gate = self.netlist.gates[fault.gate]
+            if gate.type == GateType.OUTPUT or gate.is_sequential:
+                forced = mask if fault.value else 0
+                driver = gate.fanin[fault.pin]
+                observed_good = good[driver]
+                diff |= forced ^ observed_good
+        return diff & mask
+
+    # ------------------------------------------------------------------
+    # Stuck-at engines
+    # ------------------------------------------------------------------
+
+    def simulate(
+        self,
+        patterns: Sequence[Sequence[int]],
+        faults: Iterable[StuckAtFault],
+        drop: bool = True,
+        engine: str = "ppsfp",
+    ) -> FaultSimResult:
+        """Run stuck-at fault simulation.
+
+        With ``drop`` true (default) a fault leaves the active list at its
+        first detection; otherwise every fault sees every pattern (useful
+        for building diagnosis dictionaries and detection profiles).
+        """
+        if engine == "ppsfp":
+            return self._simulate_ppsfp(patterns, faults, drop)
+        if engine == "serial":
+            return self._simulate_serial(patterns, faults, drop)
+        raise ValueError(f"unknown engine {engine!r}")
+
+    def _simulate_ppsfp(
+        self,
+        patterns: Sequence[Sequence[int]],
+        faults: Iterable[StuckAtFault],
+        drop: bool,
+    ) -> FaultSimResult:
+        active = list(faults)
+        result = FaultSimResult(total_faults=len(active))
+        for start in range(0, len(patterns), WORD_WIDTH):
+            if drop and not active:
+                break
+            chunk = patterns[start : start + WORD_WIDTH]
+            n = len(chunk)
+            mask = (1 << n) - 1
+            input_words = [
+                pack_patterns(chunk, position)
+                for position in range(self.view.num_inputs)
+            ]
+            good = self.parallel.evaluate_words(input_words, n)
+            survivors: List[StuckAtFault] = []
+            for fault in active:
+                seeds = self._stuck_at_seeds(fault, good, mask)
+                faulty = self._propagate(seeds, good, mask) if seeds else {}
+                detect = self._detection_word(fault, good, faulty, mask)
+                if detect:
+                    first_bit = (detect & -detect).bit_length() - 1
+                    if fault not in result.detected:
+                        result.detected[fault] = start + first_bit
+                    if not drop:
+                        survivors.append(fault)
+                else:
+                    survivors.append(fault)
+            active = survivors
+            result.patterns_simulated = min(start + n, len(patterns))
+        result.undetected = [f for f in active if f not in result.detected]
+        if not drop:
+            result.patterns_simulated = len(patterns)
+        return result
+
+    def _simulate_serial(
+        self,
+        patterns: Sequence[Sequence[int]],
+        faults: Iterable[StuckAtFault],
+        drop: bool,
+    ) -> FaultSimResult:
+        """Naive engine: full re-simulation per (fault, pattern)."""
+        active = list(faults)
+        result = FaultSimResult(total_faults=len(active))
+        for pattern_index, pattern in enumerate(patterns):
+            if drop and not active:
+                break
+            input_words = [int(bit) for bit in pattern]
+            good = self.parallel.evaluate_words(input_words, 1)
+            survivors: List[StuckAtFault] = []
+            for fault in active:
+                if self._serial_detects(fault, input_words, good):
+                    if fault not in result.detected:
+                        result.detected[fault] = pattern_index
+                    if not drop:
+                        survivors.append(fault)
+                else:
+                    survivors.append(fault)
+            active = survivors
+            result.patterns_simulated = pattern_index + 1
+        result.undetected = [f for f in active if f not in result.detected]
+        if not drop:
+            result.patterns_simulated = len(patterns)
+        return result
+
+    def _serial_detects(
+        self, fault: StuckAtFault, input_words: Sequence[int], good: Sequence[int]
+    ) -> bool:
+        """Full faulty-machine evaluation of one pattern (width-1 words)."""
+        gates = self.netlist.gates
+        words: List[int] = [0] * len(gates)
+        forced = 1 if fault.value else 0
+        for position, gate_index in enumerate(self.view.input_gates):
+            words[gate_index] = input_words[position] & 1
+        if fault.pin == OUTPUT_PIN and gates[fault.gate].type == GateType.INPUT:
+            words[fault.gate] = forced
+        for gate_index in self.netlist.topo_order:
+            gate = gates[gate_index]
+            if gate.type == GateType.INPUT or gate.is_sequential:
+                if fault.pin == OUTPUT_PIN and gate_index == fault.gate:
+                    words[gate_index] = forced
+                continue
+            inputs = [words[driver] for driver in gate.fanin]
+            if gate_index == fault.gate and fault.pin != OUTPUT_PIN:
+                inputs[fault.pin] = forced
+            value = evaluate_parallel(gate.type, inputs, 1)
+            if gate_index == fault.gate and fault.pin == OUTPUT_PIN:
+                value = forced
+            words[gate_index] = value
+        for reader in self._readers:
+            if words[reader] != good[reader]:
+                return True
+        if fault.pin != OUTPUT_PIN:
+            gate = gates[fault.gate]
+            if gate.type == GateType.OUTPUT or gate.is_sequential:
+                if forced != good[gate.fanin[fault.pin]]:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Per-fault failure signatures (diagnosis support)
+    # ------------------------------------------------------------------
+
+    def failure_signature(
+        self, patterns: Sequence[Sequence[int]], fault: StuckAtFault
+    ) -> Dict[int, Tuple[int, ...]]:
+        """Exactly which outputs fail on which patterns for one fault.
+
+        Returns ``{pattern_index: (failing output positions...)}`` over the
+        view's response vector (POs then flop D's).  This is the signature
+        fault dictionaries store and effect-cause diagnosis compares.
+        """
+        signature: Dict[int, Tuple[int, ...]] = {}
+        for start in range(0, len(patterns), WORD_WIDTH):
+            chunk = patterns[start : start + WORD_WIDTH]
+            n = len(chunk)
+            mask = (1 << n) - 1
+            input_words = [
+                pack_patterns(chunk, position)
+                for position in range(self.view.num_inputs)
+            ]
+            good = self.parallel.evaluate_words(input_words, n)
+            seeds = self._stuck_at_seeds(fault, good, mask)
+            faulty = self._propagate(seeds, good, mask) if seeds else {}
+            per_output_diff: List[int] = []
+            for reader in self._readers:
+                per_output_diff.append(
+                    (faulty.get(reader, good[reader]) ^ good[reader]) & mask
+                )
+            # Direct observation of branch-into-observation faults.
+            if fault.pin != OUTPUT_PIN:
+                gate = self.netlist.gates[fault.gate]
+                if gate.type == GateType.OUTPUT or gate.is_sequential:
+                    forced = mask if fault.value else 0
+                    driver = gate.fanin[fault.pin]
+                    position = self._direct_reader_position(fault.gate)
+                    if position is not None:
+                        per_output_diff[position] |= (forced ^ good[driver]) & mask
+            for bit in range(n):
+                failing = tuple(
+                    position
+                    for position, diff in enumerate(per_output_diff)
+                    if (diff >> bit) & 1
+                )
+                if failing:
+                    signature[start + bit] = failing
+        return signature
+
+    def _direct_reader_position(self, observation_gate: int) -> Optional[int]:
+        """Response-vector position of a PO marker or flop gate."""
+        if observation_gate in self.netlist.outputs:
+            return self.netlist.outputs.index(observation_gate)
+        if observation_gate in self.netlist.flops:
+            return len(self.netlist.outputs) + self.netlist.flops.index(
+                observation_gate
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # Transition-delay faults (launch-on-capture pairs)
+    # ------------------------------------------------------------------
+
+    def simulate_transition(
+        self,
+        pattern_pairs: Sequence[Tuple[Sequence[int], Sequence[int]]],
+        faults: Iterable[TransitionFault],
+        drop: bool = True,
+    ) -> FaultSimResult:
+        """Simulate transition faults against launch/capture pattern pairs.
+
+        A fault is detected by a pair when the good machine launches the
+        required transition at the fault site and the capture vector
+        propagates the transient stuck-at effect to an observation point.
+        """
+        active = list(faults)
+        result = FaultSimResult(total_faults=len(active))
+        for start in range(0, len(pattern_pairs), WORD_WIDTH):
+            if drop and not active:
+                break
+            chunk = pattern_pairs[start : start + WORD_WIDTH]
+            n = len(chunk)
+            mask = (1 << n) - 1
+            launch_words = [
+                pack_patterns([pair[0] for pair in chunk], position)
+                for position in range(self.view.num_inputs)
+            ]
+            capture_words = [
+                pack_patterns([pair[1] for pair in chunk], position)
+                for position in range(self.view.num_inputs)
+            ]
+            good_launch = self.parallel.evaluate_words(launch_words, n)
+            good_capture = self.parallel.evaluate_words(capture_words, n)
+            survivors: List[TransitionFault] = []
+            for fault in active:
+                site_launch = self._site_value(fault, good_launch)
+                site_capture = self._site_value(fault, good_capture)
+                if fault.slow_to == 1:
+                    transition = ~site_launch & site_capture  # 0 -> 1
+                else:
+                    transition = site_launch & ~site_capture  # 1 -> 0
+                transition &= mask
+                if not transition:
+                    survivors.append(fault)
+                    continue
+                stuck = StuckAtFault(fault.gate, fault.pin, fault.acts_as_stuck)
+                seeds = self._stuck_at_seeds(stuck, good_capture, mask)
+                faulty = self._propagate(seeds, good_capture, mask) if seeds else {}
+                detect = self._detection_word(stuck, good_capture, faulty, mask)
+                detect &= transition
+                if detect:
+                    first_bit = (detect & -detect).bit_length() - 1
+                    if fault not in result.detected:
+                        result.detected[fault] = start + first_bit
+                    if not drop:
+                        survivors.append(fault)
+                else:
+                    survivors.append(fault)
+            active = survivors
+            result.patterns_simulated = min(start + n, len(pattern_pairs))
+        result.undetected = [f for f in active if f not in result.detected]
+        if not drop:
+            result.patterns_simulated = len(pattern_pairs)
+        return result
+
+    def _site_value(self, fault, good: Sequence[int]) -> int:
+        """Good-machine word at a fault site (branch value = stem value)."""
+        if fault.pin == OUTPUT_PIN:
+            return good[fault.gate]
+        driver = self.netlist.gates[fault.gate].fanin[fault.pin]
+        return good[driver]
+
+    # ------------------------------------------------------------------
+    # Bridging faults
+    # ------------------------------------------------------------------
+
+    def simulate_bridging(
+        self,
+        patterns: Sequence[Sequence[int]],
+        faults: Iterable[BridgingFault],
+        drop: bool = True,
+    ) -> FaultSimResult:
+        """Simulate wired-logic bridges.
+
+        Approximation: the shorted values are resolved from the good-machine
+        driven values and then propagated once (no fixpoint iteration), the
+        standard zero-feedback assumption for prototype bridging analysis.
+        """
+        active = list(faults)
+        result = FaultSimResult(total_faults=len(active))
+        for start in range(0, len(patterns), WORD_WIDTH):
+            if drop and not active:
+                break
+            chunk = patterns[start : start + WORD_WIDTH]
+            n = len(chunk)
+            mask = (1 << n) - 1
+            input_words = [
+                pack_patterns(chunk, position)
+                for position in range(self.view.num_inputs)
+            ]
+            good = self.parallel.evaluate_words(input_words, n)
+            survivors: List[BridgingFault] = []
+            for fault in active:
+                value_a, value_b = good[fault.net_a], good[fault.net_b]
+                forced_a, forced_b = _resolve_words(fault, value_a, value_b, mask)
+                seeds = {}
+                if forced_a != value_a:
+                    seeds[fault.net_a] = forced_a
+                if forced_b != value_b:
+                    seeds[fault.net_b] = forced_b
+                faulty = self._propagate(seeds, good, mask) if seeds else {}
+                diff = 0
+                for reader in self._readers:
+                    diff |= faulty.get(reader, good[reader]) ^ good[reader]
+                diff &= mask
+                if diff:
+                    first_bit = (diff & -diff).bit_length() - 1
+                    if fault not in result.detected:
+                        result.detected[fault] = start + first_bit
+                    if not drop:
+                        survivors.append(fault)
+                else:
+                    survivors.append(fault)
+            active = survivors
+            result.patterns_simulated = min(start + n, len(patterns))
+        result.undetected = [f for f in active if f not in result.detected]
+        if not drop:
+            result.patterns_simulated = len(patterns)
+        return result
+
+
+def _resolve_words(
+    fault: BridgingFault, value_a: int, value_b: int, mask: int
+) -> Tuple[int, int]:
+    """Word-parallel wired-logic resolution of a bridge."""
+    if fault.kind == "and":
+        both = value_a & value_b
+        return both, both
+    if fault.kind == "or":
+        both = value_a | value_b
+        return (both & mask, both & mask)
+    if fault.kind == "dom_a":
+        return value_a, value_a
+    if fault.kind == "dom_b":
+        return value_b, value_b
+    raise ValueError(f"unknown bridging kind {fault.kind!r}")

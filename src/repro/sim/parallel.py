@@ -1,0 +1,94 @@
+"""Bit-parallel 2-valued simulation.
+
+One Python integer per signal carries up to :data:`WORD_WIDTH` test patterns
+(bit *k* of every word belongs to pattern *k*).  This is the engine behind
+PPSFP fault simulation (E3) and the LBIST/compression experiments, where
+thousands of fully-specified patterns must be evaluated quickly.
+
+X values are not represented here — callers X-fill patterns first (the
+standard practice before parallel fault simulation).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..circuit.gates import GateType, evaluate_parallel
+from ..circuit.netlist import Netlist
+from .view import CombinationalView
+
+#: Patterns carried per simulation pass (one machine word).
+WORD_WIDTH = 64
+
+
+def pack_patterns(patterns: Sequence[Sequence[int]], position: int) -> int:
+    """Pack bit ``position`` of up to 64 patterns into one word."""
+    word = 0
+    for bit, pattern in enumerate(patterns):
+        if pattern[position]:
+            word |= 1 << bit
+    return word
+
+
+def unpack_word(word: int, count: int) -> List[int]:
+    """Expand a packed word back into ``count`` single-bit values."""
+    return [(word >> bit) & 1 for bit in range(count)]
+
+
+class ParallelSimulator:
+    """Word-parallel good-machine simulator over the full-scan view."""
+
+    def __init__(self, netlist: Netlist):
+        netlist.finalize()
+        self.netlist = netlist
+        self.view = CombinationalView(netlist)
+        # Precompute the evaluation schedule once: (index, type, fanin).
+        self._schedule = [
+            (g.index, g.type, tuple(g.fanin))
+            for g in (netlist.gates[i] for i in netlist.topo_order)
+            if g.type != GateType.INPUT and not g.is_sequential
+        ]
+
+    def evaluate_words(self, input_words: Sequence[int], n_patterns: int) -> List[int]:
+        """Evaluate all gates for a packed batch of ``n_patterns`` patterns.
+
+        ``input_words`` holds one packed word per test input (PIs + flops in
+        view order).  Returns packed values for every gate.
+        """
+        if n_patterns > WORD_WIDTH:
+            raise ValueError(f"at most {WORD_WIDTH} patterns per pass")
+        if len(input_words) != self.view.num_inputs:
+            raise ValueError(
+                f"expected {self.view.num_inputs} input words, got {len(input_words)}"
+            )
+        mask = (1 << n_patterns) - 1
+        words: List[int] = [0] * len(self.netlist.gates)
+        for position, gate_index in enumerate(self.view.input_gates):
+            words[gate_index] = input_words[position] & mask
+        for gate_index, gate_type, fanin in self._schedule:
+            words[gate_index] = evaluate_parallel(
+                gate_type, [words[driver] for driver in fanin], mask
+            )
+        return words
+
+    def evaluate_batch(self, patterns: Sequence[Sequence[int]]) -> List[List[int]]:
+        """Evaluate up to 64 patterns; returns one response vector each."""
+        n_patterns = len(patterns)
+        input_words = [
+            pack_patterns(patterns, position)
+            for position in range(self.view.num_inputs)
+        ]
+        words = self.evaluate_words(input_words, n_patterns)
+        responses: List[List[int]] = [[] for _ in range(n_patterns)]
+        for reader in self.view.output_readers:
+            word = words[reader]
+            for bit in range(n_patterns):
+                responses[bit].append((word >> bit) & 1)
+        return responses
+
+    def responses(self, patterns: Sequence[Sequence[int]]) -> List[List[int]]:
+        """Evaluate any number of patterns, batching 64 at a time."""
+        out: List[List[int]] = []
+        for start in range(0, len(patterns), WORD_WIDTH):
+            out.extend(self.evaluate_batch(patterns[start : start + WORD_WIDTH]))
+        return out

@@ -1,0 +1,107 @@
+"""IJTAG-style SIB access network."""
+
+import pytest
+
+from repro.dft.access import (
+    Instrument,
+    SibNetwork,
+    SibNode,
+    access_schedule_comparison,
+    build_balanced_network,
+    flat_chain_cycles,
+)
+
+
+def small_network():
+    """Two SIBs, each guarding two instruments."""
+    i = [Instrument(f"mbist{k}", 16) for k in range(4)]
+    left = SibNode("sib_l", [i[0], i[1]])
+    right = SibNode("sib_r", [i[2], i[3]])
+    return SibNetwork([SibNode("sib_root", [left, right])]), i
+
+
+class TestStructure:
+    def test_instrument_validation(self):
+        with pytest.raises(ValueError):
+            Instrument("bad", 0)
+
+    def test_duplicate_names_rejected(self):
+        a = Instrument("x", 4)
+        with pytest.raises(ValueError):
+            SibNetwork([SibNode("s", [a, Instrument("x", 4)])])
+
+    def test_sibs_for_walks_ancestry(self):
+        network, _ = small_network()
+        assert network.sibs_for(["mbist0"]) == {"sib_root", "sib_l"}
+        assert network.sibs_for(["mbist0", "mbist3"]) == {
+            "sib_root",
+            "sib_l",
+            "sib_r",
+        }
+        with pytest.raises(KeyError):
+            network.sibs_for(["ghost"])
+
+
+class TestPathLength:
+    def test_all_closed_is_sib_count_on_spine(self):
+        network, _ = small_network()
+        assert network.path_length(set()) == 1  # just the root SIB
+
+    def test_opening_exposes_segments(self):
+        network, _ = small_network()
+        assert network.path_length({"sib_root"}) == 1 + 1 + 1  # root + 2 SIBs
+        assert network.path_length({"sib_root", "sib_l"}) == 3 + 32
+
+    def test_closed_parent_hides_open_child(self):
+        network, _ = small_network()
+        # sib_l "open" is irrelevant while the root is closed.
+        assert network.path_length({"sib_l"}) == 1
+
+
+class TestAccessCycles:
+    def test_single_instrument_access(self):
+        network, _ = small_network()
+        report = network.access_cycles(["mbist0"])
+        # Waves: open root (path 1 + update), open sib_l (path 3 + update).
+        # Data pass shifts root SIB + open sib_l segment (1 + 16 + 16) +
+        # closed sib_r (1): SIB granularity exposes the whole segment.
+        assert report["reconfig_cycles"] == (1 + 1) + (3 + 1)
+        assert report["path_bits"] == 1 + (1 + 32) + 1
+        assert report["total_cycles"] == 6 + 35 + 1
+
+    def test_flat_chain(self):
+        instruments = [Instrument(f"i{k}", 16) for k in range(4)]
+        report = flat_chain_cycles(instruments, ["i0"])
+        assert report["path_bits"] == 64
+        assert report["total_cycles"] == 65
+
+    def test_sib_wins_for_sparse_access(self):
+        instruments = [Instrument(f"i{k}", 64) for k in range(32)]
+        schedule = [["i0"], ["i17"], ["i31"], ["i5"]]
+        report = access_schedule_comparison(instruments, schedule)
+        assert report["sib_cycles"] < report["flat_cycles"]
+        assert report["sib_speedup_x"] > 2
+
+    def test_flat_wins_for_access_everything(self):
+        """When every access touches all instruments, the SIB overhead
+        (reconfig + SIB bits in path) makes it the loser."""
+        instruments = [Instrument(f"i{k}", 8) for k in range(16)]
+        everything = [[i.name for i in instruments]]
+        report = access_schedule_comparison(instruments, everything)
+        assert report["sib_cycles"] > report["flat_cycles"]
+
+
+class TestBalancedBuilder:
+    def test_all_instruments_reachable(self):
+        instruments = [Instrument(f"i{k}", 4) for k in range(23)]
+        network = build_balanced_network(instruments, fanout=4)
+        assert sorted(i.name for i in network.instruments) == sorted(
+            i.name for i in instruments
+        )
+        report = network.access_cycles([i.name for i in instruments])
+        total_tdr = sum(i.tdr_length for i in instruments)
+        assert report["path_bits"] >= total_tdr
+
+    def test_fanout_validation(self):
+        with pytest.raises(ValueError):
+            build_balanced_network([Instrument("i", 4)], fanout=1)

@@ -1,0 +1,105 @@
+"""The full ATPG flow: coverage, compaction, fill modes, bookkeeping."""
+
+import random
+
+import pytest
+
+from repro.atpg import run_atpg, x_fill
+from repro.atpg.engine import atpg_table_row
+from repro.circuit import benchmarks
+from repro.circuit.values import X
+from repro.faults import collapse_faults, full_fault_list
+from repro.sim.faultsim import FaultSimulator
+
+
+class TestFlowCoverage:
+    @pytest.mark.parametrize("name", ["c17", "s27", "add8", "mul4", "par16"])
+    def test_full_test_coverage(self, name):
+        netlist = benchmarks.get_benchmark(name)
+        result = run_atpg(netlist, seed=1)
+        assert result.test_coverage == 1.0
+        assert not result.consistency_errors
+
+    def test_final_patterns_reach_reported_coverage(self, alu4):
+        """Re-simulating the emitted pattern set must reproduce coverage."""
+        result = run_atpg(alu4, seed=2)
+        faults, _ = collapse_faults(alu4, full_fault_list(alu4))
+        simulator = FaultSimulator(alu4)
+        check = simulator.simulate(result.patterns, faults, drop=True)
+        assert len(check.detected) >= result.detected
+
+    def test_deterministic_given_seed(self, c17):
+        a = run_atpg(c17, seed=7)
+        b = run_atpg(c17, seed=7)
+        assert a.patterns == b.patterns
+
+    def test_zero_random_batches_forces_deterministic(self, c17):
+        result = run_atpg(c17, random_batches=0, seed=1)
+        assert result.random_pattern_count == 0
+        assert result.detected_deterministic > 0
+        assert result.test_coverage == 1.0
+        assert len(result.cubes) > 0
+
+    def test_compaction_preserves_coverage(self, alu4):
+        compacted = run_atpg(alu4, random_batches=0, compact=True, seed=3)
+        loose = run_atpg(alu4, random_batches=0, compact=False, seed=3)
+        assert compacted.test_coverage == loose.test_coverage == 1.0
+        assert len(compacted.patterns) <= len(loose.patterns)
+        # Compacted patterns still reach full coverage when re-simulated.
+        faults, _ = collapse_faults(alu4, full_fault_list(alu4))
+        simulator = FaultSimulator(alu4)
+        check = simulator.simulate(compacted.patterns, faults, drop=True)
+        undetected_testable = [
+            f for f in check.undetected if f not in set(compacted.untestable)
+        ]
+        assert not undetected_testable
+
+    def test_table_row_fields(self, c17):
+        result = run_atpg(c17, seed=1)
+        row = atpg_table_row(c17, result)
+        for key in ("circuit", "gates", "patterns", "fault_coverage"):
+            assert key in row
+
+
+class TestXFill:
+    def test_modes(self):
+        rng = random.Random(0)
+        cube = [1, X, 0, X, X]
+        assert x_fill(cube, rng, "zero") == [1, 0, 0, 0, 0]
+        assert x_fill(cube, rng, "one") == [1, 1, 0, 1, 1]
+        repeat = x_fill(cube, rng, "repeat")
+        assert repeat == [1, 1, 0, 0, 0]
+
+    def test_random_fill_specified_bits_fixed(self):
+        rng = random.Random(1)
+        cube = [1, X, 0]
+        for _ in range(10):
+            filled = x_fill(cube, rng, "random")
+            assert filled[0] == 1 and filled[2] == 0
+            assert filled[1] in (0, 1)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            x_fill([X], random.Random(0), "diagonal")
+
+
+class TestFaultAccounting:
+    def test_partition_is_exact(self, alu4):
+        result = run_atpg(alu4, seed=5)
+        total = (
+            result.detected
+            + len(result.untestable)
+            + len(result.aborted)
+            + len(result.consistency_errors)
+        )
+        assert total == result.total_faults
+
+    def test_fault_coverage_le_test_coverage(self, alu4):
+        result = run_atpg(alu4, seed=5)
+        assert result.fault_coverage <= result.test_coverage
+
+    def test_custom_fault_list(self, c17):
+        faults = full_fault_list(c17)[:8]
+        result = run_atpg(c17, faults=faults, seed=1)
+        assert result.total_faults == 8
+        assert result.test_coverage == 1.0

@@ -1,0 +1,96 @@
+""".bench format parsing and writing."""
+
+import pytest
+
+from repro.circuit.bench import BenchFormatError, parse_bench, write_bench
+from repro.circuit.benchmarks import C17_BENCH, S27_BENCH
+from repro.circuit.gates import GateType
+from repro.sim.logicsim import LogicSimulator
+
+
+class TestParse:
+    def test_c17_structure(self):
+        netlist = parse_bench(C17_BENCH)
+        stats = netlist.stats()
+        assert stats["inputs"] == 5
+        assert stats["outputs"] == 2
+        assert stats["gates"] == 6
+        assert all(
+            netlist.gates[i].type == GateType.NAND
+            for i in range(len(netlist.gates))
+            if netlist.gates[i].type not in (GateType.INPUT, GateType.OUTPUT)
+        )
+
+    def test_s27_sequential(self):
+        netlist = parse_bench(S27_BENCH)
+        assert len(netlist.flops) == 3
+        assert netlist.stats()["inputs"] == 4
+
+    def test_out_of_order_definitions(self):
+        text = """
+        INPUT(a)
+        OUTPUT(y)
+        y = NOT(m)
+        m = AND(a, a2)
+        a2 = BUFF(a)
+        """
+        netlist = parse_bench(text)
+        assert netlist.stats()["gates"] == 3
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# header\n\nINPUT(a)\nOUTPUT(b)\nb = NOT(a)  # inline\n"
+        netlist = parse_bench(text)
+        assert netlist.stats()["gates"] == 1
+
+    def test_case_insensitive_keywords(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = nand(a, a)\n"
+        netlist = parse_bench(text)
+        assert netlist.gates[netlist.index_of("y")].type == GateType.NAND
+
+    def test_mux_and_const_extensions(self):
+        text = (
+            "INPUT(s)\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+            "c1 = CONST1()\ny = MUX(s, a, b)\n"
+        )
+        netlist = parse_bench(text)
+        assert netlist.gates[netlist.index_of("y")].type == GateType.MUX2
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(BenchFormatError, match="unknown gate keyword"):
+            parse_bench("INPUT(a)\ny = FROB(a)\n")
+
+    def test_undefined_net_rejected(self):
+        with pytest.raises(BenchFormatError, match="undefined"):
+            parse_bench("INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)\n")
+
+    def test_redefined_net_rejected(self):
+        with pytest.raises(BenchFormatError, match="redefined"):
+            parse_bench("INPUT(a)\ny = NOT(a)\ny = BUFF(a)\n")
+
+    def test_undefined_output_rejected(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(a)\nOUTPUT(ghost)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(BenchFormatError, match="cannot parse"):
+            parse_bench("INPUT(a)\nthis is not bench\n")
+
+
+class TestRoundTrip:
+    def test_c17_round_trip_preserves_function(self):
+        original = parse_bench(C17_BENCH)
+        rebuilt = parse_bench(write_bench(original))
+        sim_a, sim_b = LogicSimulator(original), LogicSimulator(rebuilt)
+        for value in range(32):
+            pattern = [(value >> i) & 1 for i in range(5)]
+            assert sim_a.response(pattern) == sim_b.response(pattern)
+
+    def test_s27_round_trip_preserves_structure(self):
+        original = parse_bench(S27_BENCH)
+        rebuilt = parse_bench(write_bench(original))
+        assert rebuilt.stats() == original.stats()
+
+    def test_writer_emits_ports(self):
+        text = write_bench(parse_bench(C17_BENCH))
+        assert text.count("INPUT(") == 5
+        assert text.count("OUTPUT(") == 2

@@ -1,0 +1,61 @@
+"""On-chip compare for broadcast-tested identical cores."""
+
+import pytest
+
+from repro.atpg import run_atpg
+from repro.circuit import generators
+from repro.dft.retarget import broadcast_compare
+from repro.faults import collapse_faults, full_fault_list
+
+
+@pytest.fixture(scope="module")
+def compare_setup():
+    core = generators.mac_unit(2)
+    faults, _ = collapse_faults(core, full_fault_list(core))
+    atpg = run_atpg(core, seed=1)
+    detected = [f for f in faults if f not in set(atpg.untestable)]
+    return core, atpg.patterns, detected
+
+
+class TestBroadcastCompare:
+    def test_clean_chip_flags_nothing(self, compare_setup):
+        core, patterns, faults = compare_setup
+        report = broadcast_compare(core, patterns, {}, n_cores=4)
+        assert report["flagged_cores"] == []
+        assert report["exact"]
+
+    def test_single_defective_core_identified(self, compare_setup):
+        core, patterns, faults = compare_setup
+        report = broadcast_compare(core, patterns, {2: faults[5]}, n_cores=4)
+        assert report["flagged_cores"] == [2]
+        assert report["exact"]
+
+    def test_two_defective_cores_of_five(self, compare_setup):
+        core, patterns, faults = compare_setup
+        defects = {0: faults[3], 4: faults[9]}
+        report = broadcast_compare(core, patterns, defects, n_cores=5)
+        assert report["flagged_cores"] == [0, 4]
+        assert report["exact"]
+
+    def test_undetected_fault_not_flagged(self, compare_setup):
+        """A defect the pattern set cannot excite stays invisible — the
+        comparator is only as good as the broadcast test's coverage."""
+        core, patterns, faults = compare_setup
+        atpg = run_atpg(core, seed=1)
+        if not atpg.untestable:
+            pytest.skip("no untestable faults on this core")
+        defect = atpg.untestable[0]
+        report = broadcast_compare(core, patterns, {1: defect}, n_cores=4)
+        assert 1 not in report["flagged_cores"]
+        assert report["exact"]  # detectable set is empty and matches
+
+    def test_majority_breaks_down_when_most_cores_bad(self, compare_setup):
+        """With identical defects in the majority, the vote inverts —
+        the documented limit of comparator-only checking."""
+        core, patterns, faults = compare_setup
+        defect = faults[5]
+        defects = {0: defect, 1: defect, 2: defect}
+        report = broadcast_compare(core, patterns, defects, n_cores=4)
+        # The lone good core gets outvoted wherever the defect flips bits.
+        assert report["flagged_cores"] == [3]
+        assert not report["exact"]

@@ -1,0 +1,119 @@
+"""Builder helpers must implement correct word-level arithmetic."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.values import ONE, ZERO
+from repro.sim.logicsim import LogicSimulator
+
+
+def _bits(value, width):
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def _to_int(bits):
+    return sum(bit << i for i, bit in enumerate(bits))
+
+
+def _eval_outputs(netlist, inputs):
+    sim = LogicSimulator(netlist)
+    response = sim.response(list(inputs))
+    return response
+
+
+class TestBasicConstruction:
+    def test_auto_names_unique(self):
+        b = NetlistBuilder()
+        x, y = b.input(), b.input()
+        g1 = b.and_(x, y)
+        g2 = b.and_(x, y)
+        names = [b.netlist.gates[i].name for i in (x, y, g1, g2)]
+        assert len(set(names)) == 4
+
+    def test_buses_are_lsb_first(self):
+        b = NetlistBuilder()
+        bus = b.input_bus("a", 3)
+        assert [b.netlist.gates[i].name for i in bus] == ["a[0]", "a[1]", "a[2]"]
+
+    def test_half_adder(self):
+        b = NetlistBuilder()
+        x, y = b.input("x"), b.input("y")
+        s, c = b.half_adder(x, y)
+        b.output("s", s)
+        b.output("c", c)
+        netlist = b.build()
+        for a in (0, 1):
+            for bb in (0, 1):
+                out = _eval_outputs(netlist, [a, bb])
+                assert out == [a ^ bb, a & bb]
+
+    def test_full_adder_exhaustive(self):
+        b = NetlistBuilder()
+        x, y, cin = b.input("x"), b.input("y"), b.input("ci")
+        s, c = b.full_adder(x, y, cin)
+        b.output("s", s)
+        b.output("c", c)
+        netlist = b.build()
+        for value in range(8):
+            a, bb, ci = value & 1, (value >> 1) & 1, (value >> 2) & 1
+            out = _eval_outputs(netlist, [a, bb, ci])
+            total = a + bb + ci
+            assert out == [total & 1, total >> 1]
+
+
+class TestWordArithmetic:
+    @settings(max_examples=40, deadline=None)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    def test_ripple_adder(self, a, b):
+        builder = NetlistBuilder()
+        abus = builder.input_bus("a", 8)
+        bbus = builder.input_bus("b", 8)
+        total, carry = builder.ripple_adder(abus, bbus)
+        builder.output_bus("s", total)
+        builder.output("c", carry)
+        netlist = builder.build()
+        out = _eval_outputs(netlist, _bits(a, 8) + _bits(b, 8))
+        assert _to_int(out[:8]) == (a + b) & 0xFF
+        assert out[8] == (a + b) >> 8
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=st.integers(0, 15), b=st.integers(0, 15))
+    def test_array_multiplier(self, a, b):
+        builder = NetlistBuilder()
+        abus = builder.input_bus("a", 4)
+        bbus = builder.input_bus("b", 4)
+        product = builder.array_multiplier(abus, bbus)
+        builder.output_bus("p", product)
+        netlist = builder.build()
+        out = _eval_outputs(netlist, _bits(a, 4) + _bits(b, 4))
+        assert _to_int(out) == a * b
+
+    @settings(max_examples=30, deadline=None)
+    @given(value=st.integers(0, 63), constant=st.integers(0, 63))
+    def test_equals_const(self, value, constant):
+        builder = NetlistBuilder()
+        bus = builder.input_bus("a", 6)
+        builder.output("eq", builder.equals_const(bus, constant))
+        netlist = builder.build()
+        out = _eval_outputs(netlist, _bits(value, 6))
+        assert out[0] == (1 if value == constant else 0)
+
+    def test_mux_bus(self):
+        builder = NetlistBuilder()
+        sel = builder.input("sel")
+        a = builder.input_bus("a", 4)
+        b = builder.input_bus("b", 4)
+        builder.output_bus("y", builder.mux_bus(sel, a, b))
+        netlist = builder.build()
+        out0 = _eval_outputs(netlist, [0] + _bits(0b0101, 4) + _bits(0b0011, 4))
+        out1 = _eval_outputs(netlist, [1] + _bits(0b0101, 4) + _bits(0b0011, 4))
+        assert _to_int(out0) == 0b0101
+        assert _to_int(out1) == 0b0011
+
+    def test_mux_bus_width_mismatch(self):
+        import pytest
+
+        builder = NetlistBuilder()
+        sel = builder.input("sel")
+        with pytest.raises(ValueError):
+            builder.mux_bus(sel, [sel], [sel, sel])

@@ -1,0 +1,113 @@
+"""Scan-chain defect diagnosis."""
+
+import random
+
+import pytest
+
+from repro.atpg import run_atpg
+from repro.circuit import generators
+from repro.diagnosis.chain_diag import (
+    ChainDefect,
+    ChainDefectModel,
+    ChainDiagnoser,
+    observe_defective_die,
+)
+from repro.scan import insert_scan
+
+
+@pytest.fixture(scope="module")
+def chain_setup():
+    netlist = generators.random_sequential(6, 100, 20, seed=5)
+    design = insert_scan(netlist, n_chains=4)
+    atpg = run_atpg(design.netlist, seed=1)
+    return design, atpg.patterns
+
+
+class TestDefectModel:
+    def test_corrupt_load_geometry(self, chain_setup):
+        design, _ = chain_setup
+        defect = ChainDefect(chain=1, position=2, value=1)
+        model = ChainDefectModel(design, defect)
+        clean = [0] * len(design.netlist.flops)
+        corrupted = model.corrupt_load(clean)
+        flop_order = {f: i for i, f in enumerate(design.netlist.flops)}
+        chain = design.chains[1]
+        for position, flop in enumerate(chain):
+            expected = 1 if position >= 2 else 0
+            assert corrupted[flop_order[flop]] == expected
+        # Other chains untouched.
+        for other_chain in (0, 2, 3):
+            for flop in design.chains[other_chain]:
+                assert corrupted[flop_order[flop]] == 0
+
+    def test_corrupt_unload_geometry(self, chain_setup):
+        design, _ = chain_setup
+        defect = ChainDefect(chain=0, position=3, value=0)
+        model = ChainDefectModel(design, defect)
+        captured = [1] * len(design.netlist.flops)
+        observed = model.corrupt_unload(captured)
+        flop_order = {f: i for i, f in enumerate(design.netlist.flops)}
+        for position, flop in enumerate(design.chains[0]):
+            expected = 0 if position <= 3 else 1
+            assert observed[flop_order[flop]] == expected
+
+    def test_validation(self, chain_setup):
+        design, _ = chain_setup
+        with pytest.raises(ValueError):
+            ChainDefectModel(design, ChainDefect(99, 0, 1))
+        with pytest.raises(ValueError):
+            ChainDefectModel(design, ChainDefect(0, 999, 1))
+
+    def test_flush_signature_constant(self, chain_setup):
+        design, _ = chain_setup
+        model = ChainDefectModel(design, ChainDefect(2, 1, 1))
+        assert set(model.flush_signature()) == {1}
+
+
+class TestDiagnosis:
+    def test_chain_identified_from_flush(self, chain_setup):
+        design, patterns = chain_setup
+        defect = ChainDefect(chain=2, position=0, value=0)
+        flush, unloads = observe_defective_die(design, defect, patterns[:4])
+        diagnoser = ChainDiagnoser(design)
+        fingerprint = diagnoser.identify_chain(flush)
+        assert fingerprint == (2, 0)
+
+    def test_healthy_die_not_fingerprinted(self, chain_setup):
+        design, _ = chain_setup
+        diagnoser = ChainDiagnoser(design)
+        clean_flush = [
+            ([0, 0, 1, 1] * 10)[: len(chain)] for chain in design.chains
+        ]
+        assert diagnoser.identify_chain(clean_flush) is None
+
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_position_located(self, chain_setup, value):
+        design, patterns = chain_setup
+        rng = random.Random(value)
+        chain = rng.randrange(design.n_chains)
+        position = rng.randrange(len(design.chains[chain]))
+        defect = ChainDefect(chain, position, value)
+        flush, unloads = observe_defective_die(design, defect, patterns[:8])
+        result = ChainDiagnoser(design).diagnose(patterns[:8], unloads, flush)
+        assert result.chain == chain
+        assert result.stuck_value == value
+        assert position in result.best_positions
+        assert len(result.best_positions) <= 3  # tight localization
+
+    def test_all_positions_distinguishable_on_average(self, chain_setup):
+        design, patterns = chain_setup
+        diagnoser = ChainDiagnoser(design)
+        hits = 0
+        cases = 0
+        for chain in range(design.n_chains):
+            for position in range(0, len(design.chains[chain]), 2):
+                defect = ChainDefect(chain, position, 1)
+                flush, unloads = observe_defective_die(
+                    design, defect, patterns[:6]
+                )
+                result = diagnoser.diagnose(patterns[:6], unloads, flush)
+                cases += 1
+                if position in result.best_positions:
+                    hits += 1
+        assert hits == cases  # the injected position always survives ranking

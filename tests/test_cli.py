@@ -1,0 +1,63 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCommands:
+    def test_circuits(self, capsys):
+        assert main(["circuits"]) == 0
+        out = capsys.readouterr().out
+        assert "c17" in out and "mac4" in out
+
+    def test_stats(self, capsys):
+        assert main(["stats", "c17"]) == 0
+        out = capsys.readouterr().out
+        assert "collapsed" in out
+
+    def test_atpg_and_faultsim_roundtrip(self, tmp_path, capsys):
+        pattern_file = tmp_path / "c17.pat"
+        assert main(["atpg", "c17", "-o", str(pattern_file), "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "test_coverage: 1.0" in out
+        assert main(["faultsim", "c17", str(pattern_file)]) == 0
+        out = capsys.readouterr().out
+        assert "100.00%" in out
+
+    def test_atpg_on_bench_file(self, tmp_path, capsys):
+        from repro.circuit.bench import save_bench
+        from repro.circuit import benchmarks
+
+        path = tmp_path / "c.bench"
+        save_bench(benchmarks.c17(), str(path))
+        assert main(["atpg", str(path)]) == 0
+        assert "fault_coverage" in capsys.readouterr().out
+
+    def test_atpg_on_verilog_file(self, tmp_path, capsys):
+        from repro.circuit.verilog import save_verilog
+        from repro.circuit import benchmarks
+
+        path = tmp_path / "c.v"
+        save_verilog(benchmarks.c17(), str(path))
+        assert main(["atpg", str(path)]) == 0
+        assert "fault_coverage" in capsys.readouterr().out
+
+    def test_lbist(self, capsys):
+        assert main(["lbist", "par16", "--patterns", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "final coverage" in out
+        assert "signature" in out
+
+    def test_mbist(self, capsys):
+        assert main(["mbist", "--cells", "32", "--samples", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "March C-" in out
+
+    def test_plan(self, capsys):
+        assert main(["plan"]) == 0
+        assert "scheduled_cycles" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,69 @@
+"""Static and reverse-order test-set compaction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atpg.compaction import (
+    care_bit_stats,
+    cubes_compatible,
+    merge_cubes,
+    reverse_order_compact,
+    static_compact,
+)
+from repro.atpg.random_gen import random_patterns
+from repro.circuit import benchmarks
+from repro.circuit.values import X
+from repro.faults import full_fault_list
+from repro.sim.faultsim import FaultSimulator
+
+cube_strategy = st.lists(st.sampled_from([0, 1, X]), min_size=4, max_size=4)
+
+
+class TestCubeOps:
+    def test_compatible(self):
+        assert cubes_compatible([0, X, 1], [0, 1, X])
+        assert not cubes_compatible([0, X, 1], [1, X, 1])
+
+    def test_merge(self):
+        assert merge_cubes([0, X, 1], [X, 1, 1]) == [0, 1, 1]
+
+    @given(a=cube_strategy, b=cube_strategy)
+    def test_merge_refines_both(self, a, b):
+        if cubes_compatible(a, b):
+            merged = merge_cubes(a, b)
+            for m, va, vb in zip(merged, a, b):
+                if va != X:
+                    assert m == va
+                if vb != X:
+                    assert m == vb
+
+    @given(cubes=st.lists(cube_strategy, min_size=1, max_size=12))
+    def test_static_compact_covers_all_cubes(self, cubes):
+        bins = static_compact(cubes)
+        assert len(bins) <= len(cubes)
+        # Every original cube must be contained in some bin.
+        for cube in cubes:
+            assert any(
+                all(b == c or c == X for b, c in zip(bin_, cube))
+                for bin_ in bins
+            )
+
+    def test_care_bit_stats(self):
+        care, total, density = care_bit_stats([[0, X, 1], [X, X, X]])
+        assert (care, total) == (2, 6)
+        assert density == pytest.approx(2 / 6)
+
+    def test_care_bit_stats_empty(self):
+        assert care_bit_stats([]) == (0, 0, 0.0)
+
+
+class TestReverseOrderCompaction:
+    def test_reduces_without_losing_coverage(self, alu4):
+        simulator = FaultSimulator(alu4)
+        faults = full_fault_list(alu4)
+        patterns = random_patterns(simulator.view.num_inputs, 150, seed=4)
+        baseline = simulator.simulate(patterns, faults, drop=True)
+        compacted = reverse_order_compact(patterns, faults, simulator)
+        after = simulator.simulate(compacted, faults, drop=True)
+        assert len(compacted) < len(patterns)
+        assert len(after.detected) == len(baseline.detected)

@@ -1,0 +1,93 @@
+"""XOR spatial compaction and X-masking."""
+
+import pytest
+
+from repro.circuit.values import ONE, X, ZERO
+from repro.compression.compactor import (
+    CompactorConfig,
+    XorCompactor,
+    greedy_x_mask,
+)
+
+
+def make(n_chains=8, n_channels=2, seed=0):
+    return XorCompactor(CompactorConfig(n_chains, n_channels, seed))
+
+
+class TestGroups:
+    def test_partition_covers_all_chains(self):
+        compactor = make(10, 3)
+        seen = sorted(chain for group in compactor.groups for chain in group)
+        assert seen == list(range(10))
+
+    def test_balanced(self):
+        compactor = make(10, 3)
+        sizes = [len(g) for g in compactor.groups]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestCompaction:
+    def test_xor_semantics(self):
+        compactor = make(4, 1, seed=1)
+        assert compactor.compact_slice([1, 1, 0, 0]) == [0]
+        assert compactor.compact_slice([1, 0, 0, 0]) == [1]
+
+    def test_x_poisons_group(self):
+        compactor = make(4, 1, seed=1)
+        assert compactor.compact_slice([1, X, 0, 0]) == [X]
+
+    def test_mask_blocks_x(self):
+        compactor = make(4, 1, seed=1)
+        bits = [1, X, 0, 0]
+        mask = [1, 0, 1, 1]  # block the X chain
+        assert compactor.compact_slice(bits, mask) == [1]
+
+    def test_unload_shapes(self):
+        compactor = make(4, 2, seed=0)
+        streams = [[0, 1], [1, 1], [0, 0], [1, 0]]
+        compacted = compactor.compact_unload(streams)
+        assert len(compacted) == 2
+        assert all(len(slice_) == 2 for slice_ in compacted)
+
+    def test_ragged_streams_padded(self):
+        compactor = make(3, 1, seed=0)
+        compacted = compactor.compact_unload([[1], [1, 1], [0, 1]])
+        assert len(compacted) == 2
+
+
+class TestObservableDifference:
+    def test_detects_single_bit_flip(self):
+        compactor = make(6, 2, seed=3)
+        good = [[0, 1, 0], [1, 1, 0], [0, 0, 0], [1, 0, 1], [0, 1, 1], [1, 1, 1]]
+        faulty = [row[:] for row in good]
+        faulty[2][1] ^= 1
+        assert compactor.observable_difference(good, faulty)
+
+    def test_even_flips_in_same_group_alias(self):
+        """Two flips in one XOR group, same cycle, cancel — the classic
+        spatial-compactor aliasing case."""
+        compactor = make(4, 1, seed=1)
+        good = [[0], [0], [0], [0]]
+        faulty = [[1], [1], [0], [0]]  # two flips, one group, same cycle
+        assert not compactor.observable_difference(good, faulty)
+
+    def test_x_hides_difference_without_mask(self):
+        compactor = make(4, 1, seed=1)
+        good = [[0], [X], [0], [0]]
+        faulty = [[1], [X], [0], [0]]
+        assert not compactor.observable_difference(good, faulty)
+        mask = [1, 0, 1, 1]
+        assert compactor.observable_difference(good, faulty, mask)
+
+
+class TestGreedyMask:
+    def test_masks_dirtiest_chains(self):
+        mask = greedy_x_mask([0.0, 0.9, 0.1, 0.7], budget=2)
+        assert mask == [1, 0, 1, 0]
+
+    def test_budget_zero(self):
+        assert greedy_x_mask([0.5, 0.5], budget=0) == [1, 1]
+
+    def test_clean_chains_never_masked(self):
+        mask = greedy_x_mask([0.0, 0.0, 0.5], budget=3)
+        assert mask == [1, 1, 0]

@@ -1,0 +1,105 @@
+"""Packed D-calculus tables must agree with the rail-wise reference."""
+
+from hypothesis import given, strategies as st
+
+from repro.circuit.dcalc import (
+    AND_TABLE,
+    D,
+    D0,
+    D1,
+    DB,
+    DX,
+    NOT_TABLE,
+    OR_TABLE,
+    XOR_TABLE,
+    faulty_rail,
+    from_fourvalued,
+    good_rail,
+    has_x,
+    is_faulted,
+    pack,
+)
+from repro.circuit.values import X as X4
+from repro.circuit.values import v_and, v_not, v_or, v_xor
+
+packed = st.integers(min_value=0, max_value=8)
+
+
+def _to_fourvalued(rail: int) -> int:
+    """Rail encoding (0/1/2) to the values module's constants (X == 2)."""
+    return rail  # identical by construction
+
+
+class TestPackedConstants:
+    def test_constants(self):
+        assert D0 == pack(0, 0)
+        assert D1 == pack(1, 1)
+        assert D == pack(1, 0)
+        assert DB == pack(0, 1)
+        assert DX == pack(2, 2)
+
+    def test_rail_extraction_roundtrip(self):
+        for good in range(3):
+            for faulty in range(3):
+                value = pack(good, faulty)
+                assert good_rail(value) == good
+                assert faulty_rail(value) == faulty
+
+    def test_predicates(self):
+        assert is_faulted(D) and is_faulted(DB)
+        assert not is_faulted(D0) and not is_faulted(DX)
+        assert has_x(DX) and has_x(pack(2, 0))
+        assert not has_x(D)
+
+    def test_from_fourvalued_handles_z(self):
+        assert from_fourvalued(3, 1) == pack(2, 1)  # Z collapses to X
+
+
+class TestTablesMatchRailwiseReference:
+    @given(a=packed, b=packed)
+    def test_and_table(self, a, b):
+        expected = pack(
+            v_and(good_rail(a), good_rail(b)),
+            v_and(faulty_rail(a), faulty_rail(b)),
+        )
+        assert AND_TABLE[a][b] == expected
+
+    @given(a=packed, b=packed)
+    def test_or_table(self, a, b):
+        expected = pack(
+            v_or(good_rail(a), good_rail(b)),
+            v_or(faulty_rail(a), faulty_rail(b)),
+        )
+        assert OR_TABLE[a][b] == expected
+
+    @given(a=packed, b=packed)
+    def test_xor_table(self, a, b):
+        expected = pack(
+            v_xor(good_rail(a), good_rail(b)),
+            v_xor(faulty_rail(a), faulty_rail(b)),
+        )
+        assert XOR_TABLE[a][b] == expected
+
+    @given(a=packed)
+    def test_not_table(self, a):
+        expected = pack(v_not(good_rail(a)), v_not(faulty_rail(a)))
+        assert NOT_TABLE[a] == expected
+
+    @given(a=packed, b=packed)
+    def test_commutativity(self, a, b):
+        assert AND_TABLE[a][b] == AND_TABLE[b][a]
+        assert OR_TABLE[a][b] == OR_TABLE[b][a]
+        assert XOR_TABLE[a][b] == XOR_TABLE[b][a]
+
+    @given(a=packed, b=packed, c=packed)
+    def test_associativity(self, a, b, c):
+        assert AND_TABLE[AND_TABLE[a][b]][c] == AND_TABLE[a][AND_TABLE[b][c]]
+        assert OR_TABLE[OR_TABLE[a][b]][c] == OR_TABLE[a][OR_TABLE[b][c]]
+        assert XOR_TABLE[XOR_TABLE[a][b]][c] == XOR_TABLE[a][XOR_TABLE[b][c]]
+
+    @given(a=packed)
+    def test_de_morgan(self, a):
+        for b in range(9):
+            left = NOT_TABLE[AND_TABLE[a][b]]
+            right = OR_TABLE[NOT_TABLE[a]][NOT_TABLE[b]]
+            assert left == right

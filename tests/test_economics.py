@@ -1,0 +1,91 @@
+"""Yield / defect-level / test-cost models."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dft.economics import (
+    coverage_dppm_table,
+    coverage_for_dppm,
+    defect_level,
+    dppm,
+    mapout_yield_uplift,
+    negative_binomial_yield,
+    poisson_yield,
+)
+
+# Aliased imports: the library names collide with pytest collection rules.
+from repro.dft.economics import TestCostModel as CostModel
+from repro.dft.economics import tester_cost_per_die as cost_per_die
+
+
+class TestYieldModels:
+    def test_poisson_limits(self):
+        assert poisson_yield(0.0, 1.0) == 1.0
+        assert poisson_yield(1.0, 0.0) == 1.0
+        assert poisson_yield(1.0, 1.0) == pytest.approx(math.exp(-1))
+
+    def test_negative_binomial_above_poisson(self):
+        """Clustering concentrates defects on fewer dies: higher yield."""
+        area, density = 2.0, 0.5
+        assert negative_binomial_yield(area, density, 2.0) > poisson_yield(
+            area, density
+        )
+
+    def test_negative_binomial_approaches_poisson(self):
+        area, density = 1.0, 0.4
+        loose = negative_binomial_yield(area, density, clustering=1000.0)
+        assert loose == pytest.approx(poisson_yield(area, density), rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_yield(-1.0, 0.1)
+        with pytest.raises(ValueError):
+            negative_binomial_yield(1.0, 0.1, clustering=0.0)
+
+
+class TestWilliamsBrown:
+    def test_endpoints(self):
+        assert defect_level(0.9, 1.0) == pytest.approx(0.0)
+        assert defect_level(0.9, 0.0) == pytest.approx(0.1)
+
+    def test_classic_numbers(self):
+        # The canonical example: Y=50%, T=99% -> ~0.69% DL (6900 DPPM).
+        assert dppm(0.5, 0.99) == pytest.approx(6908, rel=0.01)
+
+    @given(
+        y=st.floats(0.05, 0.99),
+        t=st.floats(0.0, 1.0),
+    )
+    def test_monotone_in_coverage(self, y, t):
+        assert defect_level(y, t) >= defect_level(y, min(1.0, t + 0.05)) - 1e-12
+
+    @given(y=st.floats(0.05, 0.95), target=st.floats(10, 100000))
+    def test_inverse_roundtrip(self, y, target):
+        coverage = coverage_for_dppm(y, target)
+        if 0.0 < coverage < 1.0:
+            assert dppm(y, coverage) == pytest.approx(target, rel=1e-6)
+
+    def test_table_shape(self):
+        table = coverage_dppm_table(0.8)
+        values = [row["dppm"] for row in table]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] == 0.0
+
+
+class TestCost:
+    def test_cost_components(self):
+        model = CostModel(
+            tester_cost_per_second=0.1, shift_clock_hz=1e6, insertion_overhead_s=1.0
+        )
+        assert cost_per_die(1_000_000, model) == pytest.approx(0.2)
+
+    def test_mapout_uplift(self):
+        report = mapout_yield_uplift(0.6, salvage_fraction=0.5)
+        assert report["yield_with_mapout"] == pytest.approx(0.8)
+        assert report["salvaged"] == pytest.approx(0.2)
+
+    def test_mapout_validation(self):
+        with pytest.raises(ValueError):
+            mapout_yield_uplift(1.5, 0.5)

@@ -1,0 +1,85 @@
+"""End-to-end EDT compression over a scan design."""
+
+import pytest
+
+from repro.atpg import run_atpg
+from repro.circuit import generators
+from repro.compression.edt import EdtSystem
+from repro.faults import collapse_faults, full_fault_list
+from repro.scan import insert_scan, partition_faults
+from repro.sim.faultsim import FaultSimulator
+
+
+@pytest.fixture(scope="module")
+def edt_setup():
+    """Scan design + deterministic cubes + EDT system (module-scoped: slow)."""
+    netlist = generators.random_sequential(8, 150, 32, seed=6)
+    design = insert_scan(netlist, n_chains=8)
+    faults, _ = collapse_faults(design.netlist, full_fault_list(design.netlist))
+    capture, _ = partition_faults(design, faults)
+    atpg = run_atpg(design.netlist, faults=capture, random_batches=0, seed=1)
+    edt = EdtSystem(design, n_input_channels=2, n_output_channels=2)
+    return design, capture, atpg, edt
+
+
+class TestEncoding:
+    def test_most_cubes_encode(self, edt_setup):
+        design, capture, atpg, edt = edt_setup
+        result = edt.encode_cubes(atpg.cubes)
+        assert result.encoding_success_rate > 0.85
+
+    def test_expanded_patterns_preserve_targeted_coverage(self, edt_setup):
+        """Decompressed patterns must detect what their cubes promised."""
+        design, capture, atpg, edt = edt_setup
+        result = edt.encode_cubes(atpg.cubes)
+        expanded = edt.expanded_patterns(result)
+        simulator = FaultSimulator(design.netlist)
+        baseline = simulator.simulate(atpg.patterns, capture, drop=True)
+        compressed = simulator.simulate(expanded, capture, drop=True)
+        # The compressed set covers nearly everything the cube set did
+        # (unencodable cubes fall back to bypass in a real flow).
+        assert len(compressed.detected) >= 0.85 * len(baseline.detected)
+
+    def test_care_bits_counted(self, edt_setup):
+        design, capture, atpg, edt = edt_setup
+        result = edt.encode_cubes(atpg.cubes)
+        assert result.care_bits_total > 0
+
+    def test_cube_coordinates_roundtrip(self, edt_setup):
+        design, capture, atpg, edt = edt_setup
+        from repro.circuit.values import X
+
+        cube = atpg.cubes[0]
+        pi_part, care = edt.cube_to_care_bits(cube)
+        n_pi = len(design.netlist.inputs)
+        specified_flops = sum(1 for v in cube[n_pi:] if v != X)
+        assert len(care) == specified_flops
+
+
+class TestResponseSide:
+    def test_fault_visible_through_compactor(self, edt_setup):
+        design, capture, atpg, edt = edt_setup
+        state = [0] * len(design.netlist.flops)
+        faulty = list(state)
+        faulty[3] ^= 1
+        assert edt.fault_visible_through_compactor(state, faulty)
+
+    def test_identical_states_invisible(self, edt_setup):
+        design, capture, atpg, edt = edt_setup
+        state = [0] * len(design.netlist.flops)
+        assert not edt.fault_visible_through_compactor(state, list(state))
+
+    def test_compact_response_shape(self, edt_setup):
+        design, capture, atpg, edt = edt_setup
+        state = [0] * len(design.netlist.flops)
+        compacted = edt.compact_response(state)
+        assert len(compacted) == design.max_chain_length
+        assert all(len(slice_) == 2 for slice_ in compacted)
+
+
+class TestCostModel:
+    def test_compression_wins(self, edt_setup):
+        design, capture, atpg, edt = edt_setup
+        row = edt.cost_versus_bypass(len(atpg.patterns))
+        assert row["data_volume_x"] > 1.0
+        assert row["test_time_x"] > 1.0

@@ -1,0 +1,68 @@
+"""PE fault detection, localization, and the accuracy sweep."""
+
+import numpy as np
+import pytest
+
+from repro.aichip.fault_effects import (
+    accuracy_fault_sweep,
+    detect_faulty_pes,
+    detection_is_complete,
+    run_inference_on_array,
+)
+from repro.aichip.nn import QuantizedMLP, trained_reference_model
+from repro.aichip.systolic import PEFault, SystolicArray, random_pe_faults
+
+
+@pytest.fixture(scope="module")
+def model_fixture():
+    return trained_reference_model()
+
+
+class TestDetection:
+    def test_clean_array_reports_nothing(self):
+        assert detect_faulty_pes(SystolicArray(8, 8)) == []
+
+    def test_single_fault_localized(self):
+        for kind_faults in (
+            [PEFault(2, 3, "dead")],
+            [PEFault(5, 1, "stuck_bit", bit=7, value=1)],
+            [PEFault(0, 6, "weight_bit", bit=3)],
+        ):
+            array = SystolicArray(8, 8, faults=kind_faults)
+            suspects = detect_faulty_pes(array)
+            assert (kind_faults[0].row, kind_faults[0].col) in suspects
+
+    def test_multiple_faults_all_found(self):
+        faults = random_pe_faults(8, 8, 5, seed=21)
+        suspects = set(detect_faulty_pes(SystolicArray(8, 8, faults=faults)))
+        for fault in faults:
+            assert (fault.row, fault.col) in suspects
+
+    def test_detection_rate_metric(self):
+        report = detection_is_complete(trials=15, seed=4)
+        assert report["detection_rate"] >= 0.95
+
+
+class TestInferenceOnArray:
+    def test_clean_array_matches_reference(self, model_fixture):
+        model, test_x, test_y = model_fixture
+        quantized = QuantizedMLP.from_float(model, test_x)
+        clean = run_inference_on_array(quantized, SystolicArray(8, 8), test_x)
+        assert np.array_equal(clean, quantized.predict(test_x))
+
+
+class TestSweep:
+    def test_sweep_structure_and_recovery(self, model_fixture):
+        result = accuracy_fault_sweep(
+            fault_counts=(0, 4, 8), model_fixture=model_fixture, seed=5
+        )
+        assert result.quantized_accuracy > 0.9
+        assert len(result.points) == 3
+        zero = result.points[0]
+        assert zero.accuracy == pytest.approx(result.quantized_accuracy)
+        for point in result.points:
+            # Map-out restores accuracy to near the clean level.
+            assert point.accuracy_after_mapout >= result.quantized_accuracy - 0.03
+            if point.n_faults > 0:
+                # Degradation costs cycles.
+                assert point.cycles_after_mapout >= point.cycles

@@ -1,0 +1,67 @@
+"""MISR signature compaction."""
+
+import random
+
+import pytest
+
+from repro.compression.misr import (
+    MISR,
+    measure_aliasing,
+    theoretical_aliasing_probability,
+)
+
+
+class TestSignature:
+    def test_deterministic(self):
+        stream = [[1, 0, 1], [0, 1, 1], [1, 1, 1]]
+        a = MISR(8).absorb_stream(stream)
+        b = MISR(8).absorb_stream(stream)
+        assert a == b
+
+    def test_sensitive_to_any_flip(self):
+        rng = random.Random(2)
+        stream = [[rng.randint(0, 1) for _ in range(8)] for _ in range(20)]
+        reference = MISR(16).absorb_stream(stream)
+        for trial in range(10):
+            cycle = rng.randrange(20)
+            bit = rng.randrange(8)
+            mutated = [row[:] for row in stream]
+            mutated[cycle][bit] ^= 1
+            assert MISR(16).absorb_stream(mutated) != reference
+
+    def test_order_matters(self):
+        a = MISR(8).absorb_stream([[1, 0], [0, 1]])
+        b = MISR(8).absorb_stream([[0, 1], [1, 0]])
+        assert a != b
+
+    def test_slice_width_checked(self):
+        misr = MISR(4)
+        with pytest.raises(ValueError):
+            misr.absorb([1] * 5)
+
+    def test_x_rejected(self):
+        misr = MISR(8)
+        with pytest.raises(ValueError, match="mask unknowns"):
+            misr.absorb([1, 2, 0])
+
+
+class TestAliasing:
+    def test_theoretical(self):
+        assert theoretical_aliasing_probability(16) == pytest.approx(2**-16)
+
+    def test_measured_aliasing_is_rare(self):
+        rng = random.Random(0)
+        good = [[rng.randint(0, 1) for _ in range(12)] for _ in range(16)]
+        faulty_streams = []
+        for _ in range(200):
+            mutated = [row[:] for row in good]
+            flips = rng.randint(1, 5)
+            for _ in range(flips):
+                mutated[rng.randrange(16)][rng.randrange(12)] ^= 1
+            if mutated != good:
+                faulty_streams.append(mutated)
+        rate = measure_aliasing(16, good, faulty_streams)
+        assert rate < 0.02
+
+    def test_empty_faulty_set(self):
+        assert measure_aliasing(8, [[1, 0]], []) == 0.0

@@ -1,0 +1,153 @@
+"""Path-delay fault model: enumeration and robust/non-robust classification."""
+
+import random
+
+import pytest
+
+from repro.circuit import generators
+from repro.circuit.builder import NetlistBuilder
+from repro.faults.path_delay import (
+    NON_ROBUST,
+    NOT_TESTED,
+    ROBUST,
+    PathDelayFault,
+    classify_pair,
+    evaluate_pair,
+    grade_paths,
+    longest_paths,
+    path_delay_faults,
+)
+
+
+class TestEnumeration:
+    def test_inverter_chain_single_path(self):
+        netlist = generators.chain_of_inverters(5)
+        paths = longest_paths(netlist, 10)
+        assert len(paths) == 1
+        assert paths[0].length == 5
+
+    def test_longest_first(self, alu4):
+        paths = longest_paths(alu4, 20)
+        lengths = [p.length for p in paths]
+        assert lengths == sorted(lengths, reverse=True)
+        assert len(paths) == 20
+
+    def test_paths_are_structurally_connected(self, alu4):
+        for path in longest_paths(alu4, 10):
+            for a, b in zip(path.gates, path.gates[1:]):
+                assert a in alu4.gates[b].fanin
+
+    def test_launch_and_capture_ends(self, mac4):
+        launches = set(mac4.inputs) | set(mac4.flops)
+        captures = {mac4.gates[po].fanin[0] for po in mac4.outputs}
+        captures |= {mac4.gates[ff].fanin[0] for ff in mac4.flops}
+        for path in longest_paths(mac4, 15):
+            assert path.gates[0] in launches
+            assert path.gates[-1] in captures
+
+    def test_fault_pairs(self, alu4):
+        faults = path_delay_faults(alu4, 5)
+        assert len(faults) == 10
+        assert {f.rising for f in faults} == {True, False}
+
+    def test_describe(self, c17):
+        fault = path_delay_faults(c17, 1)[0]
+        assert "->" in fault.describe(c17)
+
+
+class TestClassification:
+    def _and_path_fixture(self):
+        """y = AND(a, b): the a->y path with b as side input."""
+        builder = NetlistBuilder()
+        a, b = builder.input("a"), builder.input("b")
+        g = builder.and_(a, b)
+        builder.output("y", g)
+        netlist = builder.build()
+        path_fault = PathDelayFault(
+            path=longest_paths(netlist, 4)[0].__class__((a, g)), rising=True
+        )
+        return netlist, path_fault, a, b
+
+    def test_robust_needs_steady_side(self):
+        netlist, fault, a, b = self._and_path_fixture()
+        # a rises, b steady 1: robust.
+        v1, v2 = evaluate_pair(netlist, [0, 1], [1, 1])
+        assert classify_pair(netlist, fault, v1, v2) == ROBUST
+
+    def test_glitchy_side_is_non_robust(self):
+        netlist, fault, a, b = self._and_path_fixture()
+        # a rises, b also rises (0 -> 1): the output transition may be set
+        # by b's arrival — non-robust.
+        v1, v2 = evaluate_pair(netlist, [0, 0], [1, 1])
+        assert classify_pair(netlist, fault, v1, v2) == NON_ROBUST
+
+    def test_blocked_side_not_tested(self):
+        netlist, fault, a, b = self._and_path_fixture()
+        v1, v2 = evaluate_pair(netlist, [0, 1], [1, 0])  # b ends controlling
+        assert classify_pair(netlist, fault, v1, v2) == NOT_TESTED
+
+    def test_no_launch_transition_not_tested(self):
+        netlist, fault, a, b = self._and_path_fixture()
+        v1, v2 = evaluate_pair(netlist, [1, 1], [1, 1])
+        assert classify_pair(netlist, fault, v1, v2) == NOT_TESTED
+
+    def test_falling_polarity(self):
+        netlist, rising_fault, a, b = self._and_path_fixture()
+        falling = PathDelayFault(rising_fault.path, rising=False)
+        v1, v2 = evaluate_pair(netlist, [1, 1], [0, 1])
+        assert classify_pair(netlist, falling, v1, v2) == ROBUST
+
+    def test_xor_side_must_be_steady(self):
+        builder = NetlistBuilder()
+        a, b = builder.input("a"), builder.input("b")
+        g = builder.xor(a, b)
+        builder.output("y", g)
+        netlist = builder.build()
+        path = longest_paths(netlist, 4)[0]
+        fault = PathDelayFault(path, rising=True)
+        launch = path.gates[0]
+        steady = evaluate_pair(netlist, [0, 1], [1, 1])
+        moving = evaluate_pair(netlist, [0, 0], [1, 1])
+        assert classify_pair(netlist, fault, *steady) == ROBUST
+        assert classify_pair(netlist, fault, *moving) == NOT_TESTED
+
+    def test_inverter_chain_always_robust_when_launched(self):
+        netlist = generators.chain_of_inverters(6)
+        fault = path_delay_faults(netlist, 1)[0]
+        v1, v2 = evaluate_pair(netlist, [0], [1])
+        assert classify_pair(netlist, fault, v1, v2) == ROBUST
+
+
+class TestGrading:
+    def test_random_pairs_cover_most_long_paths(self, alu4):
+        rng = random.Random(2)
+        faults = path_delay_faults(alu4, 8)
+        width = len(alu4.inputs)
+        pairs = [
+            (
+                [rng.randint(0, 1) for _ in range(width)],
+                [rng.randint(0, 1) for _ in range(width)],
+            )
+            for _ in range(400)
+        ]
+        graded = grade_paths(alu4, faults, pairs)
+        tested = sum(1 for v in graded.values() if v != NOT_TESTED)
+        robust = sum(1 for v in graded.values() if v == ROBUST)
+        # Long paths are hard for random pairs — the classic motivation for
+        # dedicated path-delay ATPG; a fraction is all random gets.
+        assert tested >= 2
+        assert robust >= 1
+
+    def test_robust_subset_of_tested(self, adder4):
+        rng = random.Random(4)
+        faults = path_delay_faults(adder4, 6)
+        width = len(adder4.inputs)
+        pairs = [
+            (
+                [rng.randint(0, 1) for _ in range(width)],
+                [rng.randint(0, 1) for _ in range(width)],
+            )
+            for _ in range(200)
+        ]
+        graded = grade_paths(adder4, faults, pairs)
+        assert set(graded.values()) <= {ROBUST, NON_ROBUST, NOT_TESTED}

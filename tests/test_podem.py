@@ -1,0 +1,134 @@
+"""PODEM test generation: every cube must be confirmed by fault simulation."""
+
+import random
+
+import pytest
+
+from repro.atpg.engine import x_fill
+from repro.atpg.podem import Podem
+from repro.circuit import benchmarks, generators
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.values import X
+from repro.faults import OUTPUT_PIN, StuckAtFault, collapse_faults, full_fault_list
+from repro.sim.faultsim import FaultSimulator
+
+
+def _confirm(netlist, fault, cube, seed=0):
+    """X-fill the cube several ways; each fill must detect the fault."""
+    simulator = FaultSimulator(netlist)
+    rng = random.Random(seed)
+    for mode in ("zero", "one", "random"):
+        pattern = x_fill(cube, rng, mode)
+        result = simulator.simulate([pattern], [fault], drop=True)
+        assert fault in result.detected, f"{mode}-fill missed {fault}"
+
+
+class TestDetection:
+    def test_c17_all_faults(self, c17):
+        podem = Podem(c17)
+        for fault in full_fault_list(c17):
+            outcome = podem.generate(fault)
+            assert outcome.detected, fault.describe(c17)
+            _confirm(c17, fault, outcome.cube)
+
+    def test_adder_collapsed_universe(self, adder4):
+        podem = Podem(adder4)
+        faults, _ = collapse_faults(adder4, full_fault_list(adder4))
+        detected = 0
+        for fault in faults:
+            outcome = podem.generate(fault)
+            if outcome.detected:
+                detected += 1
+                _confirm(adder4, fault, outcome.cube, seed=11)
+            else:
+                assert outcome.status in ("untestable", "aborted")
+        assert detected / len(faults) > 0.9
+
+    def test_sequential_full_scan_view(self, mac4):
+        podem = Podem(mac4)
+        faults, _ = collapse_faults(mac4, full_fault_list(mac4))
+        sample = faults[:: max(1, len(faults) // 40)]
+        for fault in sample:
+            outcome = podem.generate(fault)
+            if outcome.detected:
+                _confirm(mac4, fault, outcome.cube, seed=5)
+
+    def test_mux_paths(self, tiny_mux):
+        podem = Podem(tiny_mux)
+        for fault in full_fault_list(tiny_mux):
+            outcome = podem.generate(fault)
+            if outcome.detected:
+                _confirm(tiny_mux, fault, outcome.cube)
+
+    def test_cube_leaves_dont_cares(self, c17):
+        """PODEM cubes should not be fully specified on easy faults."""
+        podem = Podem(c17)
+        cubes = [
+            podem.generate(fault).cube
+            for fault in full_fault_list(c17)
+        ]
+        x_counts = [sum(1 for v in cube if v == X) for cube in cubes if cube]
+        assert any(count > 0 for count in x_counts)
+
+
+class TestUntestable:
+    def test_redundant_fault_proved(self):
+        """y = OR(a, NOT(a)) is constant 1: s-a-1 on y is untestable."""
+        builder = NetlistBuilder()
+        a = builder.input("a")
+        g = builder.or_(a, builder.not_(a))
+        builder.output("y", g)
+        netlist = builder.build()
+        podem = Podem(netlist)
+        outcome = podem.generate(StuckAtFault(g, OUTPUT_PIN, 1))
+        assert outcome.status == "untestable"
+        # The complementary fault is trivially testable.
+        outcome = podem.generate(StuckAtFault(g, OUTPUT_PIN, 0))
+        assert outcome.detected
+
+    def test_unobservable_fault_proved(self):
+        """A gate with no path to any output is untestable immediately."""
+        builder = NetlistBuilder()
+        a = builder.input("a")
+        dangling = builder.not_(a)
+        builder.output("y", builder.buf(a))
+        netlist = builder.build()
+        podem = Podem(netlist)
+        outcome = podem.generate(StuckAtFault(dangling, OUTPUT_PIN, 0))
+        assert outcome.status == "untestable"
+        assert outcome.backtracks == 0  # rejected by the cone check
+
+    def test_backtrack_limit_aborts(self):
+        netlist = generators.random_resistant(14, cones=3)
+        faults, _ = collapse_faults(netlist, full_fault_list(netlist))
+        podem = Podem(netlist, backtrack_limit=1)
+        statuses = {podem.generate(f).status for f in faults}
+        assert "aborted" in statuses
+
+
+class TestBranchFaults:
+    def test_branch_into_output_detected(self):
+        builder = NetlistBuilder()
+        a = builder.input("a")
+        builder.output("y1", a)
+        builder.output("y2", a)
+        netlist = builder.build()
+        podem = Podem(netlist)
+        # Branch fault on y1's input pin (a fans out to two outputs).
+        y1 = netlist.index_of("y1")
+        fault = StuckAtFault(y1, 0, 1)
+        outcome = podem.generate(fault)
+        assert outcome.detected
+        _confirm(netlist, fault, outcome.cube)
+
+    def test_branch_into_flop_detected(self, mac4):
+        podem = Podem(mac4)
+        branch_faults = [
+            f
+            for f in full_fault_list(mac4)
+            if f.pin != OUTPUT_PIN and mac4.gates[f.gate].is_sequential
+        ]
+        for fault in branch_faults[:6]:
+            outcome = podem.generate(fault)
+            if outcome.detected:
+                _confirm(mac4, fault, outcome.cube)

@@ -1,0 +1,142 @@
+"""Netlist simplification: function preservation and debris removal."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import benchmarks, generators
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.gates import GateType
+from repro.circuit.simplify import simplify
+from repro.sim.logicsim import LogicSimulator
+
+
+def _equivalent(original, rebuilt, trials=30, seed=0):
+    """Random-pattern equivalence on POs (and next-state for flops)."""
+    sim_a, sim_b = LogicSimulator(original), LogicSimulator(rebuilt)
+    assert sim_b.view.num_inputs == sim_a.view.num_inputs
+    rng = random.Random(seed)
+    for _ in range(trials):
+        pattern = [rng.randint(0, 1) for _ in range(sim_a.view.num_inputs)]
+        if sim_a.response(pattern) != sim_b.response(pattern):
+            return False
+    return True
+
+
+class TestConstantPropagation:
+    def test_and_with_zero(self):
+        builder = NetlistBuilder()
+        a = builder.input("a")
+        zero = builder.const0()
+        builder.output("y", builder.and_(a, zero))
+        netlist = builder.build()
+        rebuilt, report = simplify(netlist)
+        assert report.constants_propagated >= 1
+        sim = LogicSimulator(rebuilt)
+        assert sim.response([0]) == [0] and sim.response([1]) == [0]
+
+    def test_and_with_one_forwards(self):
+        builder = NetlistBuilder()
+        a = builder.input("a")
+        one = builder.const1()
+        builder.output("y", builder.and_(a, one))
+        netlist = builder.build()
+        rebuilt, report = simplify(netlist)
+        assert rebuilt.num_gates == 0  # pure wire to the output marker
+        assert _equivalent(netlist, rebuilt)
+
+    def test_xor_parity_with_odd_constants(self):
+        """XOR(a, b, 1) must become XNOR(a, b), not XOR(a, b)."""
+        builder = NetlistBuilder()
+        a, b = builder.input("a"), builder.input("b")
+        one = builder.const1()
+        builder.output("y", builder.xor(a, b, one))
+        netlist = builder.build()
+        rebuilt, _ = simplify(netlist)
+        assert _equivalent(netlist, rebuilt)
+
+    def test_xnor_single_unknown(self):
+        """XNOR(a, 0) == NOT(a)."""
+        builder = NetlistBuilder()
+        a = builder.input("a")
+        zero = builder.const0()
+        builder.output("y", builder.xnor(a, zero))
+        netlist = builder.build()
+        rebuilt, _ = simplify(netlist)
+        assert _equivalent(netlist, rebuilt)
+
+    def test_mux_constant_select(self):
+        builder = NetlistBuilder()
+        a, b = builder.input("a"), builder.input("b")
+        one = builder.const1()
+        builder.output("y", builder.mux(one, a, b))
+        netlist = builder.build()
+        rebuilt, _ = simplify(netlist)
+        assert _equivalent(netlist, rebuilt)
+        assert rebuilt.num_gates == 0
+
+
+class TestBufferAndDeadLogic:
+    def test_buffer_chain_collapses(self):
+        builder = NetlistBuilder()
+        a = builder.input("a")
+        x = a
+        for _ in range(5):
+            x = builder.buf(x)
+        builder.output("y", x)
+        netlist = builder.build()
+        rebuilt, report = simplify(netlist)
+        assert report.buffers_collapsed == 5
+        assert rebuilt.num_gates == 0
+        assert _equivalent(netlist, rebuilt)
+
+    def test_dead_logic_removed(self):
+        builder = NetlistBuilder()
+        a, b = builder.input("a"), builder.input("b")
+        builder.and_(a, b)  # drives nothing
+        builder.not_(a)  # drives nothing
+        builder.output("y", builder.or_(a, b))
+        netlist = builder.build()
+        rebuilt, report = simplify(netlist)
+        assert report.dead_gates_removed == 2
+        assert rebuilt.num_gates == 1
+        assert _equivalent(netlist, rebuilt)
+
+    def test_interface_preserved(self):
+        builder = NetlistBuilder()
+        a, b = builder.input("a"), builder.input("b")
+        builder.output("y", builder.buf(a))  # b is entirely unused
+        netlist = builder.build()
+        rebuilt, _ = simplify(netlist)
+        assert rebuilt.input_names() == ["a", "b"]
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize(
+        "name", ["c17", "s27", "add8", "alu4", "mac4", "pe4", "rres12"]
+    )
+    def test_benchmarks_unchanged(self, name):
+        netlist = benchmarks.get_benchmark(name)
+        rebuilt, report = simplify(netlist)
+        assert _equivalent(netlist, rebuilt, trials=25, seed=3)
+        assert report.gates_after <= report.gates_before
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10**4))
+    def test_random_circuits_unchanged(self, seed):
+        netlist = generators.random_circuit(8, 60, seed=seed)
+        rebuilt, _ = simplify(netlist)
+        assert _equivalent(netlist, rebuilt, trials=15, seed=seed)
+
+    def test_mac_padding_constants_removed(self, mac4):
+        """mac4's zero-padded product bits create constant debris; after
+        simplify its untestable-fault count drops."""
+        from repro.atpg import run_atpg
+
+        rebuilt, report = simplify(mac4)
+        assert report.removed > 0
+        before = run_atpg(mac4, seed=1)
+        after = run_atpg(rebuilt, seed=1)
+        assert len(after.untestable) < len(before.untestable)
+        assert after.test_coverage == 1.0

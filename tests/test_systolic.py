@@ -1,0 +1,137 @@
+"""Systolic array model: correctness, fault semantics, degradation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aichip.systolic import (
+    PRODUCT_BITS,
+    PEFault,
+    SystolicArray,
+    random_pe_faults,
+)
+
+
+class TestCleanMatmul:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_matches_numpy(self, seed):
+        rng = np.random.default_rng(seed)
+        n, k, m = rng.integers(1, 12, size=3)
+        x = rng.integers(-127, 128, size=(n, k))
+        w = rng.integers(-127, 128, size=(k, m))
+        array = SystolicArray(4, 4)
+        assert np.array_equal(array.matmul(x, w), x @ w)
+
+    def test_tiling_dimensions_bigger_than_array(self):
+        rng = np.random.default_rng(1)
+        x = rng.integers(-10, 10, size=(3, 20))
+        w = rng.integers(-10, 10, size=(20, 17))
+        array = SystolicArray(8, 8)
+        assert np.array_equal(array.matmul(x, w), x @ w)
+
+    def test_shape_validation(self):
+        array = SystolicArray(4, 4)
+        with pytest.raises(ValueError):
+            array.matmul(np.zeros((2, 3)), np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            array.matmul(np.zeros(3), np.zeros((3, 2)))
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            SystolicArray(0, 4)
+
+
+class TestFaultSemantics:
+    def test_dead_pe_drops_contribution(self):
+        array = SystolicArray(2, 2, faults=[PEFault(0, 0, "dead")])
+        x = np.array([[1, 1]])
+        w = np.array([[10, 0], [1, 0]])
+        out = array.matmul(x, w)
+        # PE(0,0) holds w[0,0]=10; its product is dropped.
+        assert out[0, 0] == 1
+        assert out[0, 1] == 0
+
+    def test_stuck_bit_forces_product_bit(self):
+        fault = PEFault(0, 0, "stuck_bit", bit=4, value=1)
+        array = SystolicArray(1, 1, faults=[fault])
+        x = np.array([[0]])
+        w = np.array([[0]])
+        out = array.matmul(x, w)
+        assert out[0, 0] == 16  # 0 with bit 4 forced high
+
+    def test_stuck_bit_zero_clears(self):
+        fault = PEFault(0, 0, "stuck_bit", bit=0, value=0)
+        array = SystolicArray(1, 1, faults=[fault])
+        out = array.matmul(np.array([[1]]), np.array([[3]]))
+        assert out[0, 0] == 2  # 3 with LSB cleared
+
+    def test_weight_bit_flip(self):
+        fault = PEFault(0, 0, "weight_bit", bit=1)
+        array = SystolicArray(1, 1, faults=[fault])
+        out = array.matmul(np.array([[1]]), np.array([[4]]))
+        assert out[0, 0] == 6  # weight 4 ^ 2
+
+    def test_fault_outside_array_rejected(self):
+        with pytest.raises(ValueError):
+            SystolicArray(2, 2, faults=[PEFault(5, 0, "dead")])
+
+    def test_fault_describe(self):
+        assert "dead" in PEFault(1, 2, "dead").describe()
+        assert "s-a-1" in PEFault(0, 0, "stuck_bit", bit=3, value=1).describe()
+
+    def test_faulty_differs_from_clean(self):
+        rng = np.random.default_rng(3)
+        x = rng.integers(-50, 50, size=(6, 8))
+        w = rng.integers(-50, 50, size=(8, 8))
+        clean = SystolicArray(8, 8).matmul(x, w)
+        faults = random_pe_faults(8, 8, 3, seed=1)
+        faulty = SystolicArray(8, 8, faults=faults).matmul(x, w)
+        assert not np.array_equal(clean, faulty)
+
+
+class TestDegradation:
+    def test_mapped_out_rows_excluded(self):
+        array = SystolicArray(4, 4, mapped_out=[(1, 2)])
+        assert array.usable_rows() == [0, 2, 3]
+
+    def test_matmul_still_correct_after_mapout(self):
+        rng = np.random.default_rng(7)
+        x = rng.integers(-20, 20, size=(4, 10))
+        w = rng.integers(-20, 20, size=(10, 6))
+        degraded = SystolicArray(4, 4, mapped_out=[(0, 0), (3, 2)])
+        assert np.array_equal(degraded.matmul(x, w), x @ w)
+
+    def test_faulty_pe_in_mapped_row_harmless(self):
+        rng = np.random.default_rng(8)
+        x = rng.integers(-20, 20, size=(3, 8))
+        w = rng.integers(-20, 20, size=(8, 4))
+        fault = PEFault(1, 1, "dead")
+        degraded = SystolicArray(4, 4, faults=[fault], mapped_out=[(1, 1)])
+        assert np.array_equal(degraded.matmul(x, w), x @ w)
+
+    def test_all_rows_gone_raises(self):
+        array = SystolicArray(2, 2, mapped_out=[(0, 0), (1, 1)])
+        with pytest.raises(RuntimeError):
+            array.matmul(np.ones((1, 2), dtype=int), np.ones((2, 2), dtype=int))
+
+    def test_cycles_grow_with_mapout(self):
+        clean = SystolicArray(8, 8)
+        degraded = SystolicArray(8, 8, mapped_out=[(r, 0) for r in range(4)])
+        assert degraded.cycles_for_matmul(32, 16, 16) > clean.cycles_for_matmul(
+            32, 16, 16
+        )
+
+
+class TestRandomFaults:
+    def test_distinct_pes(self):
+        faults = random_pe_faults(8, 8, 10, seed=4)
+        assert len({(f.row, f.col) for f in faults}) == 10
+
+    def test_bit_ranges(self):
+        faults = random_pe_faults(8, 8, 30, seed=5)
+        for fault in faults:
+            if fault.kind == "stuck_bit":
+                assert 0 <= fault.bit < PRODUCT_BITS
+            if fault.kind == "weight_bit":
+                assert 0 <= fault.bit < 8

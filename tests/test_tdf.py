@@ -1,0 +1,52 @@
+"""Transition-delay fault ATPG (launch-on-capture)."""
+
+import pytest
+
+from repro.atpg.tdf import random_loc_pairs, run_tdf_atpg
+from repro.circuit import generators
+from repro.faults.transition import full_transition_list
+from repro.sim.faultsim import FaultSimulator
+from repro.sim.logicsim import LogicSimulator
+
+
+class TestRandomLocPairs:
+    def test_pairs_are_functionally_consistent(self, mac4):
+        """Capture state must equal the good machine's next state of launch."""
+        logic = LogicSimulator(mac4)
+        n_pi = len(mac4.inputs)
+        for launch, capture in random_loc_pairs(mac4, 12, seed=3):
+            step = logic.step(launch[:n_pi], launch[n_pi:])
+            expected = step["state"]
+            assert capture[n_pi:] == expected
+
+    def test_deterministic(self, mac4):
+        assert random_loc_pairs(mac4, 5, seed=1) == random_loc_pairs(mac4, 5, seed=1)
+
+
+class TestTdfAtpg:
+    def test_mac_coverage(self, mac4):
+        result = run_tdf_atpg(mac4, n_random_pairs=128, seed=1)
+        assert result.coverage > 0.6
+        assert result.detected == result.detected_random + result.detected_deterministic
+
+    def test_emitted_pairs_regrade_to_same_detections(self, mac4):
+        result = run_tdf_atpg(mac4, n_random_pairs=64, seed=2)
+        simulator = FaultSimulator(mac4)
+        faults = full_transition_list(mac4)
+        regraded = simulator.simulate_transition(result.pairs, faults, drop=True)
+        assert len(regraded.detected) >= result.detected_random
+
+    def test_accounting(self, mac4):
+        result = run_tdf_atpg(mac4, n_random_pairs=64, seed=4)
+        assert (
+            result.detected
+            + len(result.unjustified)
+            + len(result.untestable)
+            <= result.total_faults
+        )
+
+    def test_pure_combinational_circuit(self):
+        """No flops: LOC degenerates to PI-to-PI pairs; still works."""
+        netlist = generators.parity_tree(8)
+        result = run_tdf_atpg(netlist, n_random_pairs=128, seed=1)
+        assert result.coverage > 0.9

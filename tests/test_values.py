@@ -1,0 +1,157 @@
+"""4-valued algebra and D-calculus pair operations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit.values import (
+    D,
+    D_BAR,
+    D_ONE,
+    D_X,
+    D_ZERO,
+    FOUR_VALUES,
+    ONE,
+    X,
+    Z,
+    ZERO,
+    char_to_value,
+    d_and,
+    d_name,
+    d_not,
+    d_or,
+    d_xor,
+    has_unknown,
+    is_faulted,
+    string_to_values,
+    v_and,
+    v_not,
+    v_or,
+    v_xor,
+    value_to_char,
+    values_to_string,
+)
+
+logic_values = st.sampled_from(FOUR_VALUES)
+binary = st.sampled_from((ZERO, ONE))
+
+
+class TestFourValuedOperators:
+    def test_not_known_values(self):
+        assert v_not(ZERO) == ONE
+        assert v_not(ONE) == ZERO
+
+    def test_not_unknowns(self):
+        assert v_not(X) == X
+        assert v_not(Z) == X
+
+    def test_and_controlling_zero(self):
+        for value in FOUR_VALUES:
+            assert v_and(ZERO, value) == ZERO
+            assert v_and(value, ZERO) == ZERO
+
+    def test_and_identity_one(self):
+        assert v_and(ONE, ONE) == ONE
+        assert v_and(ONE, X) == X
+        assert v_and(ONE, Z) == X
+
+    def test_or_controlling_one(self):
+        for value in FOUR_VALUES:
+            assert v_or(ONE, value) == ONE
+            assert v_or(value, ONE) == ONE
+
+    def test_or_identity_zero(self):
+        assert v_or(ZERO, ZERO) == ZERO
+        assert v_or(ZERO, X) == X
+
+    def test_xor_with_unknown_is_unknown(self):
+        assert v_xor(X, ONE) == X
+        assert v_xor(ZERO, Z) == X
+
+    def test_xor_known(self):
+        assert v_xor(ONE, ONE) == ZERO
+        assert v_xor(ONE, ZERO) == ONE
+
+    @given(a=binary, b=binary)
+    def test_known_values_match_boolean_algebra(self, a, b):
+        assert v_and(a, b) == (a & b)
+        assert v_or(a, b) == (a | b)
+        assert v_xor(a, b) == (a ^ b)
+
+    @given(a=logic_values, b=logic_values)
+    def test_commutativity(self, a, b):
+        assert v_and(a, b) == v_and(b, a)
+        assert v_or(a, b) == v_or(b, a)
+        assert v_xor(a, b) == v_xor(b, a)
+
+    @given(a=logic_values)
+    def test_double_negation_collapses_z_to_x(self, a):
+        twice = v_not(v_not(a))
+        if a in (ZERO, ONE):
+            assert twice == a
+        else:
+            assert twice == X
+
+
+class TestStringConversion:
+    def test_round_trip(self):
+        text = "01XZ"
+        assert values_to_string(string_to_values(text)) == "01XZ"
+
+    def test_lowercase_accepted(self):
+        assert char_to_value("x") == X
+        assert char_to_value("z") == Z
+
+    def test_invalid_char_raises(self):
+        with pytest.raises(ValueError):
+            char_to_value("q")
+
+    def test_value_to_char(self):
+        assert [value_to_char(v) for v in FOUR_VALUES] == ["0", "1", "X", "Z"]
+
+
+class TestDCalculus:
+    def test_d_constants(self):
+        assert D == (ONE, ZERO)
+        assert D_BAR == (ZERO, ONE)
+
+    def test_d_not_swaps_polarity(self):
+        assert d_not(D) == D_BAR
+        assert d_not(D_BAR) == D
+        assert d_not(D_ONE) == D_ZERO
+
+    def test_d_and_absorbs(self):
+        assert d_and(D, D_ZERO) == D_ZERO
+        assert d_and(D, D_ONE) == D
+
+    def test_d_or_dominates(self):
+        assert d_or(D, D_ONE) == D_ONE
+        assert d_or(D, D_ZERO) == D
+
+    def test_d_xor(self):
+        assert d_xor(D, D_BAR) == D_ONE  # (1^0, 0^1)
+        assert d_xor(D, D) == D_ZERO
+
+    def test_is_faulted(self):
+        assert is_faulted(D)
+        assert is_faulted(D_BAR)
+        assert not is_faulted(D_ONE)
+        assert not is_faulted(D_X)
+
+    def test_has_unknown(self):
+        assert has_unknown(D_X)
+        assert has_unknown((X, ONE))
+        assert not has_unknown(D)
+
+    def test_d_name(self):
+        assert d_name(D) == "D"
+        assert d_name(D_BAR) == "D'"
+        assert d_name(D_X) == "X"
+
+    @given(
+        a=st.tuples(binary, binary),
+        b=st.tuples(binary, binary),
+    )
+    def test_d_ops_are_railwise(self, a, b):
+        assert d_and(a, b) == (v_and(a[0], b[0]), v_and(a[1], b[1]))
+        assert d_or(a, b) == (v_or(a[0], b[0]), v_or(a[1], b[1]))
+        assert d_xor(a, b) == (v_xor(a[0], b[0]), v_xor(a[1], b[1]))

@@ -1,0 +1,127 @@
+"""Word-oriented memory test with data backgrounds."""
+
+import random
+
+import pytest
+
+from repro.bist.march import MARCH_C_MINUS, MATS_PLUS
+from repro.bist.memory import MemoryFault
+from repro.bist.word_memory import (
+    WordMemory,
+    intra_word_coupling_fault,
+    run_march_word,
+    standard_backgrounds,
+)
+
+
+class TestWordMemory:
+    def test_word_read_write(self):
+        memory = WordMemory(8, 8)
+        memory.write_word(3, 0xA5)
+        assert memory.read_word(3) == 0xA5
+        assert memory.read_word(2) == 0
+
+    def test_cell_index_layout(self):
+        memory = WordMemory(4, 8)
+        assert memory.cell_index(0, 0) == 0
+        assert memory.cell_index(1, 0) == 8
+        assert memory.cell_index(2, 3) == 19
+
+    def test_bounds(self):
+        memory = WordMemory(4, 8)
+        with pytest.raises(IndexError):
+            memory.cell_index(4, 0)
+        with pytest.raises(ValueError):
+            WordMemory(1, 8)
+
+    def test_bit_fault_visible_through_word_api(self):
+        fault = MemoryFault("SAF", cell=2 * 8 + 5, value=1)
+        memory = WordMemory(4, 8, faults=[fault])
+        memory.write_word(2, 0)
+        assert memory.read_word(2) == 1 << 5
+
+
+class TestBackgrounds:
+    def test_count_is_log2_plus_one(self):
+        assert len(standard_backgrounds(8)) == 4
+        assert len(standard_backgrounds(16)) == 5
+        assert len(standard_backgrounds(1)) == 1
+
+    def test_patterns(self):
+        assert standard_backgrounds(8) == [0x00, 0xAA, 0xCC, 0xF0]
+
+    def test_every_bit_pair_distinguished(self):
+        width = 16
+        backgrounds = standard_backgrounds(width)
+        for i in range(width):
+            for j in range(i + 1, width):
+                assert any(
+                    ((b >> i) & 1) != ((b >> j) & 1) for b in backgrounds
+                ), (i, j)
+
+
+class TestWordMarch:
+    def test_clean_memory_passes(self):
+        memory = WordMemory(16, 8)
+        result = run_march_word(memory, MARCH_C_MINUS)
+        assert result.passed
+        expected_ops = MARCH_C_MINUS.complexity * 16 * len(result.backgrounds)
+        assert result.operations == expected_ops
+
+    def test_inter_word_fault_detected_with_solid_background(self):
+        fault = MemoryFault("SAF", cell=9, value=1)
+        memory = WordMemory(8, 8, faults=[fault])
+        result = run_march_word(memory, MARCH_C_MINUS, backgrounds=[0])
+        assert not result.passed
+
+    def test_intra_word_coupling_escapes_solid_background(self):
+        """The motivating escape: victim and aggressor written identically
+        under a solid background, so the coupling never shows."""
+        fault = intra_word_coupling_fault(
+            word=3, victim_bit=2, aggressor_bit=5, width=8
+        )
+        memory = WordMemory(8, 8, faults=[fault])
+        solid_only = run_march_word(memory, MARCH_C_MINUS, backgrounds=[0])
+        assert solid_only.passed  # escape!
+
+    def test_intra_word_coupling_caught_with_full_backgrounds(self):
+        caught = 0
+        total = 0
+        rng = random.Random(3)
+        for _ in range(12):
+            victim, aggressor = rng.sample(range(8), 2)
+            fault = intra_word_coupling_fault(
+                word=rng.randrange(8), victim_bit=victim,
+                aggressor_bit=aggressor, width=8,
+                value=rng.randint(0, 1),
+            )
+            memory = WordMemory(8, 8, faults=[fault])
+            result = run_march_word(memory, MARCH_C_MINUS)
+            total += 1
+            if not result.passed:
+                caught += 1
+        assert caught == total
+
+    def test_detected_by_reports_background(self):
+        fault = intra_word_coupling_fault(2, 1, 3, width=8)
+        memory = WordMemory(8, 8, faults=[fault])
+        result = run_march_word(memory, MARCH_C_MINUS)
+        assert result.detected_by  # some non-solid background caught it
+        assert 0 not in result.detected_by
+
+    def test_weaker_algorithm_weaker_word_coverage(self):
+        rng = random.Random(5)
+        strong_hits, weak_hits = 0, 0
+        for trial in range(10):
+            victim, aggressor = rng.sample(range(8), 2)
+            fault = intra_word_coupling_fault(
+                word=1, victim_bit=victim, aggressor_bit=aggressor, width=8
+            )
+            strong = run_march_word(
+                WordMemory(8, 8, faults=[fault]), MARCH_C_MINUS
+            )
+            weak = run_march_word(WordMemory(8, 8, faults=[fault]), MATS_PLUS)
+            strong_hits += 0 if strong.passed else 1
+            weak_hits += 0 if weak.passed else 1
+        assert strong_hits >= weak_hits
+        assert strong_hits == 10

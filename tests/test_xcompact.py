@@ -1,0 +1,115 @@
+"""X-compact: X-tolerant spatial compaction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.values import X
+from repro.compression.compactor import CompactorConfig, XorCompactor
+from repro.compression.xcompact import (
+    XCompactConfig,
+    XCompactor,
+    minimum_channels,
+)
+
+
+def make(n_chains=10, n_channels=6, weight=3):
+    return XCompactor(XCompactConfig(n_chains, n_channels, weight))
+
+
+class TestConfig:
+    def test_capacity_enforced(self):
+        with pytest.raises(ValueError, match="support at most"):
+            XCompactConfig(n_chains=100, n_channels=5, row_weight=3)
+
+    def test_weight_bounds(self):
+        with pytest.raises(ValueError):
+            XCompactConfig(4, 4, row_weight=0)
+        with pytest.raises(ValueError):
+            XCompactConfig(4, 4, row_weight=5)
+
+    def test_minimum_channels(self):
+        assert minimum_channels(10, 3) == 5  # C(5,3)=10
+        assert minimum_channels(11, 3) == 6
+        assert minimum_channels(1, 1) == 1
+
+    def test_rows_distinct_constant_weight(self):
+        compactor = make(15, 6, 3)
+        assert len(set(compactor.rows)) == 15
+        assert all(len(row) == 3 for row in compactor.rows)
+
+
+class TestXTolerance:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_single_error_visible_under_one_x_chain(self, seed):
+        """The defining guarantee: any single-chain error stays observable
+        with any single X-dirty chain."""
+        rng = random.Random(seed)
+        compactor = make(10, 6, 3)
+        cycles = 4
+        good = [[rng.randint(0, 1) for _ in range(cycles)] for _ in range(10)]
+        x_chain = rng.randrange(10)
+        error_chain = rng.choice([c for c in range(10) if c != x_chain])
+        for chain in (x_chain,):
+            for cycle in range(cycles):
+                good[chain][cycle] = X
+        faulty = [row[:] for row in good]
+        faulty[error_chain][rng.randrange(cycles)] ^= 1
+        assert compactor.observable_difference(good, faulty)
+
+    def test_plain_xor_compactor_loses_same_case(self):
+        """Contrast: the unmasked XOR compactor misses an error sharing a
+        group with an X chain."""
+        plain = XorCompactor(CompactorConfig(n_chains=4, n_channels=1, seed=1))
+        good = [[X], [0], [0], [0]]
+        faulty = [row[:] for row in good]
+        faulty[1][0] ^= 1
+        assert not plain.observable_difference(good, faulty)
+        xc = make(4, 4, 3)
+        assert xc.observable_difference(good, faulty)
+
+
+class TestLocalization:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_single_failing_chain_located(self, seed):
+        rng = random.Random(seed)
+        compactor = make(10, 6, 3)
+        cycles = 3
+        good = [[rng.randint(0, 1) for _ in range(cycles)] for _ in range(10)]
+        victim = rng.randrange(10)
+        faulty = [row[:] for row in good]
+        faulty[victim][rng.randrange(cycles)] ^= 1
+        assert compactor.locate_failing_chain(good, faulty) == victim
+
+    def test_no_failure_returns_none(self):
+        compactor = make(6, 6, 3)
+        good = [[0, 1], [1, 0], [0, 0], [1, 1], [0, 1], [1, 1]]
+        assert compactor.locate_failing_chain(good, good) is None
+
+    def test_double_chain_failure_usually_unlocatable(self):
+        compactor = make(10, 6, 3)
+        good = [[0] * 3 for _ in range(10)]
+        faulty = [row[:] for row in good]
+        faulty[0][0] ^= 1
+        faulty[5][1] ^= 1
+        located = compactor.locate_failing_chain(good, faulty)
+        assert located not in (0, 5) or located is None or True
+        # The syndrome is the union of two codewords (weight > 3): no match.
+        assert located is None
+
+
+class TestCompaction:
+    def test_xor_semantics(self):
+        compactor = make(4, 4, 3)
+        outputs = compactor.compact_slice([1, 0, 0, 0])
+        assert outputs.count(1) == 3  # chain 0's codeword weight
+
+    def test_unload_shape(self):
+        compactor = make(5, 5, 2)
+        streams = [[0, 1]] * 5
+        compacted = compactor.compact_unload(streams)
+        assert len(compacted) == 2
+        assert all(len(slice_) == 5 for slice_ in compacted)
