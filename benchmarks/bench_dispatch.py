@@ -1,0 +1,116 @@
+"""Dispatch — Table: fault-simulation backend scaling (serial/ppsfp/pool).
+
+Times the three backends of :mod:`repro.sim.dispatch` on generated
+circuits of increasing size and records the rows to ``BENCH_dispatch.json``
+for cross-run comparison.  The pool backend is measured at 1, 2, and 4
+workers; identical detection results across every backend and worker count
+double as the differential correctness check.
+
+On a multi-core host the 4-worker pool should beat single-process PPSFP by
+>1.5x on the largest circuit (asserted when >=4 CPUs are available).  On a
+single-core container the pool rows still run — they measure dispatch
+overhead honestly — but the speedup assertion is skipped and the core
+count is recorded in the JSON.
+"""
+
+import os
+import time
+
+from repro.atpg.random_gen import random_patterns
+from repro.circuit import generators
+from repro.faults import collapse_faults, full_fault_list
+from repro.sim.faultsim import FaultSimulator
+
+from .util import print_table, run_once, write_bench_json
+
+# (n_inputs, n_gates, seed) — the standard generated-circuit ladder; the
+# last entry is the "largest generated circuit" of the acceptance check.
+SIZES = [(8, 120, 1), (10, 240, 2), (12, 480, 3)]
+N_PATTERNS = 256
+POOL_JOBS = (1, 2, 4)
+# Serial is O(faults x patterns x gates) in pure Python — minutes on the
+# larger rungs — so it is timed only up to this gate count and reported as
+# None above it (ppsfp is the meaningful single-process baseline there).
+SERIAL_GATE_LIMIT = 150
+
+
+def _time_backend(simulator, patterns, faults, **kwargs):
+    start = time.perf_counter()
+    result = simulator.simulate(patterns, faults, drop=False, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def _compare(n_inputs, n_gates, seed):
+    netlist = generators.random_circuit(n_inputs, n_gates, seed=seed)
+    simulator = FaultSimulator(netlist)
+    faults, _ = collapse_faults(netlist, full_fault_list(netlist))
+    patterns = random_patterns(simulator.view.num_inputs, N_PATTERNS, seed=seed)
+
+    serial = None
+    serial_s = None
+    if n_gates <= SERIAL_GATE_LIMIT:
+        serial, serial_s = _time_backend(simulator, patterns, faults, engine="serial")
+    ppsfp, ppsfp_s = _time_backend(simulator, patterns, faults, engine="ppsfp")
+
+    row = {
+        "circuit": netlist.name,
+        "faults": len(faults),
+        "serial_s": serial_s,
+        "ppsfp_s": ppsfp_s,
+    }
+    pool_stats = {}
+    for jobs in POOL_JOBS:
+        pool, pool_s = _time_backend(
+            simulator, patterns, faults, engine="pool", jobs=jobs
+        )
+        assert pool.detected == ppsfp.detected  # differential check
+        assert pool.undetected == ppsfp.undetected
+        row[f"pool{jobs}_s"] = pool_s
+        pool_stats[jobs] = {
+            "wall_time_s": pool_s,
+            "speedup_vs_ppsfp": ppsfp_s / pool_s if pool_s else float("inf"),
+            "load_imbalance": pool.stats["load_imbalance"],
+            "partitions": len(pool.stats["partitions"]),
+        }
+    if serial is not None:
+        assert serial.detected == ppsfp.detected
+    best_jobs = max(POOL_JOBS)
+    row["pool_speedup_x"] = pool_stats[best_jobs]["speedup_vs_ppsfp"]
+    row["imbalance"] = pool_stats[best_jobs]["load_imbalance"]
+    return row, pool_stats
+
+
+def _run_all():
+    rows = []
+    detail = {}
+    for size in SIZES:
+        row, pool_stats = _compare(*size)
+        rows.append(row)
+        detail[row["circuit"]] = pool_stats
+    return rows, detail
+
+
+def test_dispatch_backend_scaling(benchmark):
+    rows, detail = run_once(benchmark, _run_all)
+    print_table("Dispatch: serial vs ppsfp vs pool", rows)
+    cores = os.cpu_count() or 1
+    path = write_bench_json(
+        "dispatch",
+        {
+            "n_patterns": N_PATTERNS,
+            "cpu_count": cores,
+            "pool_jobs": list(POOL_JOBS),
+            "rows": rows,
+            "pool_detail": detail,
+        },
+    )
+    print(f"wrote {path} (cpu_count={cores})")
+    for row in rows:
+        if row["serial_s"] is not None:
+            assert row["serial_s"] > row["ppsfp_s"]  # PPSFP wins vs serial
+    if cores >= 4:
+        # Acceptance: 4-worker pool beats single-process PPSFP by >1.5x on
+        # the largest circuit.  Only meaningful with real parallelism.
+        assert rows[-1]["pool_speedup_x"] > 1.5
+    else:
+        print(f"(pool speedup assertion skipped: only {cores} CPU core(s))")

@@ -9,6 +9,8 @@ against the recorded results.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Dict, List, Sequence
 
 
@@ -44,3 +46,15 @@ def _fmt(value: object) -> str:
 def run_once(benchmark, function, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def write_bench_json(name: str, payload: object) -> Path:
+    """Persist a benchmark's machine-readable results.
+
+    Written as ``BENCH_<name>.json`` next to the benchmark modules so
+    successive runs (and CI) can diff measured numbers without re-parsing
+    the stdout tables.
+    """
+    path = Path(__file__).resolve().parent / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

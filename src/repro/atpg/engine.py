@@ -116,6 +116,8 @@ def run_atpg(
     fill_mode: str = "random",
     compact: bool = True,
     seed: int = 0,
+    backend: str = "ppsfp",
+    jobs: Optional[int] = None,
 ) -> AtpgResult:
     """Run the full stuck-at ATPG flow on ``netlist``.
 
@@ -123,6 +125,12 @@ def run_atpg(
     phase also stops early when a batch detects fewer than
     ``min_batch_yield`` new faults.  Deterministic cubes are statically
     compacted when ``compact`` is set, then X-filled with ``fill_mode``.
+
+    ``backend``/``jobs`` pick the fault-simulation engine for the batch
+    passes (random phase, final verification, coverage top-off) — see
+    :mod:`repro.sim.dispatch`.  The per-cube dynamic-dropping sims inside
+    phase 2 always run single-process PPSFP: they grade one pattern at a
+    time, where pool dispatch is pure overhead.
     """
     start = time.perf_counter()
     netlist.finalize()
@@ -134,6 +142,11 @@ def run_atpg(
     remaining = list(faults)
     n_inputs = simulator.view.num_inputs
 
+    def batch_sim(patterns, fault_list, drop=True):
+        return simulator.simulate(
+            patterns, fault_list, drop=drop, engine=backend, jobs=jobs, seed=seed
+        )
+
     # ------------------------------------------------------------------
     # Phase 1: random patterns with fault dropping.
     # ------------------------------------------------------------------
@@ -142,7 +155,7 @@ def run_atpg(
         if not remaining:
             break
         batch_patterns = random_patterns(n_inputs, 64, seed=seed * 1000 + batch)
-        sim = simulator.simulate(batch_patterns, remaining, drop=True)
+        sim = batch_sim(batch_patterns, remaining)
         if sim.detected:
             used = sorted(set(sim.detected.values()))
             kept_patterns.extend(batch_patterns[index] for index in used)
@@ -207,10 +220,10 @@ def run_atpg(
             and f not in set(result.aborted)
             and f not in set(result.consistency_errors)
         ]
-        check = simulator.simulate(result.patterns, counted, drop=True)
+        check = batch_sim(result.patterns, counted)
         missing = [f for f in counted if f not in check.detected]
         if missing:
-            topoff = simulator.simulate(phase2_fills, missing, drop=True)
+            topoff = batch_sim(phase2_fills, missing)
             needed = sorted(set(topoff.detected.values()))
             result.patterns.extend(phase2_fills[index] for index in needed)
 

@@ -29,6 +29,7 @@ from .circuit.verilog import load_verilog
 from .dft.planner import build_plan
 from .faults import collapse_faults, full_fault_list
 from .scan.patfile import format_patterns, load_patterns
+from .sim.dispatch import BACKEND_NAMES
 from .sim.faultsim import FaultSimulator
 from .sim.view import CombinationalView
 
@@ -60,7 +61,13 @@ def _cmd_stats(args) -> int:
 
 def _cmd_atpg(args) -> int:
     netlist = _load_circuit(args.circuit)
-    result = run_atpg(netlist, seed=args.seed, backtrack_limit=args.backtrack_limit)
+    result = run_atpg(
+        netlist,
+        seed=args.seed,
+        backtrack_limit=args.backtrack_limit,
+        backend=args.backend,
+        jobs=args.jobs,
+    )
     row = atpg_table_row(netlist, result)
     for key, value in row.items():
         print(f"{key}: {value}")
@@ -82,11 +89,29 @@ def _cmd_faultsim(args) -> int:
         [0 if v not in (0, 1) else v for v in pattern]
         for pattern in pattern_file.patterns
     ]
-    result = simulator.simulate(filled, faults, drop=True)
+    result = simulator.simulate(
+        filled, faults, drop=True, engine=args.backend, jobs=args.jobs
+    )
     print(
         f"{len(result.detected)}/{len(faults)} faults detected "
         f"({result.coverage:.2%}) by {len(filled)} patterns"
     )
+    stats = result.stats
+    if stats:
+        line = (
+            f"[{stats.get('engine')}] "
+            f"{stats.get('faults_simulated', 0)} faults, "
+            f"{stats.get('events_propagated', 0)} events, "
+            f"{stats.get('words_evaluated', 0)} words, "
+            f"{stats.get('wall_time_s', 0.0):.3f}s"
+        )
+        if "jobs" in stats:
+            line += (
+                f", {stats['jobs']} jobs, "
+                f"{len(stats.get('partitions', []))} partitions, "
+                f"imbalance {stats.get('load_imbalance')}"
+            )
+        print(line)
     return 0
 
 
@@ -116,6 +141,21 @@ def _cmd_plan(_args) -> int:
     return 0
 
 
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default="ppsfp",
+        help="fault-simulation engine (default: ppsfp)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for --backend pool (default: CPU count)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="AI-chip DFT methodology toolkit"
@@ -135,11 +175,13 @@ def build_parser() -> argparse.ArgumentParser:
     atpg.add_argument("--seed", type=int, default=0)
     atpg.add_argument("--backtrack-limit", type=int, default=64)
     atpg.add_argument("--output", "-o", help="write patterns to file")
+    _add_backend_arguments(atpg)
     atpg.set_defaults(handler=_cmd_atpg)
 
     faultsim = commands.add_parser("faultsim", help="grade a pattern file")
     faultsim.add_argument("circuit")
     faultsim.add_argument("patterns", help="pattern file from `repro atpg -o`")
+    _add_backend_arguments(faultsim)
     faultsim.set_defaults(handler=_cmd_faultsim)
 
     lbist = commands.add_parser("lbist", help="run STUMPS logic BIST")

@@ -43,6 +43,11 @@ class CompressedAtpgResult:
     aborted: int = 0
     unencodable: int = 0
     cpu_seconds: float = 0.0
+    #: Independent re-grade of ``applied_patterns`` over the full universe
+    #: (set when the flow runs with ``grade=True``): coverage as a tester
+    #: would measure it, plus the grading engine's instrumentation.
+    graded_coverage: Optional[float] = None
+    grading_stats: dict = field(default_factory=dict)
 
     @property
     def fault_coverage(self) -> float:
@@ -58,7 +63,7 @@ class CompressedAtpgResult:
         return self.detected / testable
 
     def summary(self) -> dict:
-        return {
+        summary = {
             "encoded_patterns": len(self.encoded),
             "bypass_patterns": len(self.bypass_patterns),
             "faults": self.total_faults,
@@ -69,6 +74,9 @@ class CompressedAtpgResult:
             "unencodable": self.unencodable,
             "cpu_s": round(self.cpu_seconds, 3),
         }
+        if self.graded_coverage is not None:
+            summary["graded_coverage"] = round(self.graded_coverage, 4)
+        return summary
 
 
 def run_compressed_atpg(
@@ -77,6 +85,9 @@ def run_compressed_atpg(
     random_pattern_budget: int = 128,
     backtrack_limit: int = 64,
     seed: int = 0,
+    grade: bool = False,
+    backend: str = "ppsfp",
+    jobs: Optional[int] = None,
 ) -> CompressedAtpgResult:
     """Generate compressed patterns with fault dropping on decompressed data.
 
@@ -85,6 +96,11 @@ def run_compressed_atpg(
     Phase 2 runs PODEM per surviving fault, encodes the cube, expands it,
     and fault-simulates the expansion; unencodable cubes fall back to an
     X-filled bypass pattern.
+
+    With ``grade`` set, the finished pattern set is re-graded from scratch
+    against the full fault universe on the chosen ``backend``/``jobs``
+    (see :mod:`repro.sim.dispatch`) — the cross-check a tester sign-off
+    would run — filling ``graded_coverage`` and ``grading_stats``.
     """
     start = time.perf_counter()
     design = edt.design
@@ -179,6 +195,18 @@ def run_compressed_atpg(
                 result.bypass_patterns.append(retry)
                 result.applied_patterns.append(retry)
                 result.detected += 1
+
+    if grade and result.applied_patterns:
+        graded = simulator.simulate(
+            result.applied_patterns,
+            faults,
+            drop=True,
+            engine=backend,
+            jobs=jobs,
+            seed=seed,
+        )
+        result.graded_coverage = graded.coverage
+        result.grading_stats = dict(graded.stats)
 
     result.cpu_seconds = time.perf_counter() - start
     return result

@@ -1,5 +1,15 @@
 """Simulation engines: 4-valued event-driven, bit-parallel, fault simulation."""
 
+from .dispatch import (
+    BACKEND_NAMES,
+    FaultSimBackend,
+    PoolBackend,
+    PpsfpBackend,
+    SerialBackend,
+    get_backend,
+    merge_results,
+    partition_faults,
+)
 from .faultsim import FaultSimResult, FaultSimulator
 from .logicsim import LogicSimulator
 from .seqfaultsim import LANES_PER_WORD, SequentialFaultSimulator
@@ -11,6 +21,14 @@ __all__ = [
     "ParallelSimulator",
     "FaultSimulator",
     "FaultSimResult",
+    "FaultSimBackend",
+    "SerialBackend",
+    "PpsfpBackend",
+    "PoolBackend",
+    "BACKEND_NAMES",
+    "get_backend",
+    "merge_results",
+    "partition_faults",
     "SequentialFaultSimulator",
     "LANES_PER_WORD",
     "CombinationalView",

@@ -1,0 +1,313 @@
+"""Pluggable fault-simulation backends, including a multiprocess pool.
+
+The dispatch layer decouples *what* is simulated (the PPSFP kernel in
+:mod:`repro.sim.faultsim`) from *how the fault universe is scheduled*:
+
+* :class:`SerialBackend` — the textbook one-fault/one-pattern engine.
+* :class:`PpsfpBackend` — single-process bit-parallel PPSFP.
+* :class:`PoolBackend` — the collapsed fault list is partitioned
+  deterministically (seeded shuffle + round-robin, partition count
+  independent of worker count), the good-machine response is computed
+  once in the parent, and each :mod:`multiprocessing` worker runs
+  cone-limited PPSFP over its partition against that shared response.
+  Partial results are min-merged, so first-detecting-pattern semantics
+  survive sharding and the outcome is bit-identical to PPSFP for any
+  number of workers.
+
+Accelerator-scale fault universes (Sadi & Guin's yield-loss setting, the
+tutorial's E3/E4 experiments) are only tractable when the universe is
+sharded this way: faults are embarrassingly parallel once the good
+machine is shared, and fault dropping still works because each fault's
+lifetime is confined to one partition.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import random
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..circuit.netlist import Netlist
+from ..faults.model import StuckAtFault
+from .faultsim import FaultSimResult, FaultSimulator, _unique
+
+#: Backend names accepted by ``FaultSimulator.simulate(engine=...)`` and the
+#: ``--backend`` CLI flag.
+BACKEND_NAMES = ("serial", "ppsfp", "pool")
+
+#: Target faults per pool partition.  The partition count derives from the
+#: universe size alone (never from the worker count), so the shard
+#: boundaries — and therefore the merged result — are reproducible on any
+#: machine.
+DEFAULT_PARTITION_FAULTS = 256
+
+#: Lower bound on partitions for non-trivial universes, so small fault
+#: lists still feed several workers.
+MIN_PARTITIONS = 8
+
+
+def default_partition_count(n_faults: int) -> int:
+    """Deterministic partition count for ``n_faults`` collapsed faults."""
+    if n_faults == 0:
+        return 0
+    by_size = math.ceil(n_faults / DEFAULT_PARTITION_FAULTS)
+    return min(n_faults, max(MIN_PARTITIONS, by_size))
+
+
+def partition_faults(
+    faults: Sequence[StuckAtFault], n_partitions: int, seed: int = 0
+) -> List[List[StuckAtFault]]:
+    """Shard ``faults`` into ``n_partitions`` deterministic partitions.
+
+    A seeded shuffle spreads structurally adjacent faults (which share
+    fanout cones and detection profiles) across partitions, then
+    round-robin assignment balances sizes to within one fault.  Given the
+    same seed and partition count the shards are identical on every run
+    and every worker count.
+    """
+    unique = _unique(faults)
+    if not unique:
+        return []
+    n = max(1, min(n_partitions, len(unique)))
+    order = list(range(len(unique)))
+    random.Random(seed).shuffle(order)
+    partitions: List[List[StuckAtFault]] = [[] for _ in range(n)]
+    for position, index in enumerate(order):
+        partitions[position % n].append(unique[index])
+    return partitions
+
+
+def merge_results(
+    partials: Sequence[FaultSimResult],
+    universe: Sequence[StuckAtFault],
+    n_patterns: int,
+    drop: bool,
+) -> FaultSimResult:
+    """Min-merge per-partition results back into one :class:`FaultSimResult`.
+
+    ``detected`` keeps the smallest first-detecting-pattern index seen for
+    each fault (partitions are disjoint, but min-merge also makes the
+    merge idempotent); ``undetected`` is rebuilt in the caller's original
+    fault order, matching exactly what the single-process engines produce.
+    """
+    result = FaultSimResult(total_faults=len(universe))
+    for partial in partials:
+        for fault, pattern_index in partial.detected.items():
+            previous = result.detected.get(fault)
+            if previous is None or pattern_index < previous:
+                result.detected[fault] = pattern_index
+        result.patterns_simulated = max(
+            result.patterns_simulated, partial.patterns_simulated
+        )
+    result.undetected = [f for f in universe if f not in result.detected]
+    if not drop:
+        result.patterns_simulated = n_patterns
+    return result
+
+
+class FaultSimBackend:
+    """A strategy for running stuck-at fault simulation over one netlist."""
+
+    name = "?"
+
+    def run(
+        self,
+        simulator: FaultSimulator,
+        patterns: Sequence[Sequence[int]],
+        faults: Iterable[StuckAtFault],
+        drop: bool = True,
+    ) -> FaultSimResult:
+        raise NotImplementedError
+
+    def simulate_netlist(
+        self,
+        netlist: Netlist,
+        patterns: Sequence[Sequence[int]],
+        faults: Iterable[StuckAtFault],
+        drop: bool = True,
+    ) -> FaultSimResult:
+        """Convenience entry when no :class:`FaultSimulator` exists yet."""
+        return self.run(FaultSimulator(netlist), patterns, faults, drop=drop)
+
+
+class SerialBackend(FaultSimBackend):
+    """One fault, one pattern, full re-simulation (the E3 baseline)."""
+
+    name = "serial"
+
+    def run(self, simulator, patterns, faults, drop=True):
+        return simulator._simulate_serial(patterns, faults, drop)
+
+
+class PpsfpBackend(FaultSimBackend):
+    """Single-process bit-parallel PPSFP with cone-limited propagation."""
+
+    name = "ppsfp"
+
+    def run(self, simulator, patterns, faults, drop=True):
+        return simulator._simulate_ppsfp(patterns, faults, drop)
+
+
+# ----------------------------------------------------------------------
+# Pool backend
+# ----------------------------------------------------------------------
+
+# Per-worker state installed by the pool initializer: the worker's own
+# FaultSimulator plus the pattern set and shared good-machine response.
+_WORKER_STATE: Optional[Tuple[FaultSimulator, Sequence, Sequence]] = None
+
+
+def _pool_initializer(netlist, patterns, good_chunks) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (FaultSimulator(netlist), patterns, good_chunks)
+
+
+def _pool_partition(task: Tuple[int, List[StuckAtFault], bool]):
+    """Run one fault partition inside a worker; returns a picklable pair."""
+    index, partition, drop = task
+    assert _WORKER_STATE is not None, "pool worker not initialized"
+    simulator, patterns, good_chunks = _WORKER_STATE
+    partial = simulator._simulate_ppsfp(
+        patterns, partition, drop, good_chunks=good_chunks
+    )
+    return index, partial
+
+
+class PoolBackend(FaultSimBackend):
+    """Multiprocess PPSFP over deterministic fault partitions.
+
+    ``jobs`` defaults to the machine's CPU count.  ``seed`` fixes the
+    partitioning shuffle; ``partitions`` overrides the automatic
+    partition count (both independent of ``jobs``, so the merged result
+    never depends on how many workers happened to run).  With ``jobs=1``
+    the partitions run inline — same shards, same merge, no fork cost.
+    """
+
+    name = "pool"
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        seed: int = 0,
+        partitions: Optional[int] = None,
+    ):
+        self.jobs = jobs
+        self.seed = seed
+        self.partitions = partitions
+
+    def run(self, simulator, patterns, faults, drop=True):
+        start_time = time.perf_counter()
+        universe = _unique(faults)
+        jobs = self.jobs if self.jobs is not None else (os.cpu_count() or 1)
+        jobs = max(1, jobs)
+        n_partitions = (
+            self.partitions
+            if self.partitions is not None
+            else default_partition_count(len(universe))
+        )
+        shards = partition_faults(universe, n_partitions, self.seed)
+
+        good_start = time.perf_counter()
+        good_chunks = simulator.good_response(patterns)
+        good_seconds = time.perf_counter() - good_start
+
+        tasks = [(index, shard, drop) for index, shard in enumerate(shards)]
+        partials: List[Tuple[int, FaultSimResult]] = []
+        if not tasks:
+            pass
+        elif jobs == 1 or len(tasks) == 1:
+            for task in tasks:
+                t0 = time.perf_counter()
+                index, partial = self._run_inline(simulator, patterns, task, good_chunks)
+                partial.stats["wall_time_s"] = time.perf_counter() - t0
+                partials.append((index, partial))
+        else:
+            context = self._context()
+            with context.Pool(
+                processes=min(jobs, len(tasks)),
+                initializer=_pool_initializer,
+                initargs=(simulator.netlist, patterns, good_chunks),
+            ) as pool:
+                partials = list(pool.imap_unordered(_pool_partition, tasks, chunksize=1))
+
+        result = merge_results(
+            [partial for _, partial in partials], universe, len(patterns), drop
+        )
+        good_words = simulator.parallel.num_scheduled * len(good_chunks)
+        self._fill_stats(
+            result, partials, tasks, jobs, good_seconds, good_words, start_time
+        )
+        return result
+
+    @staticmethod
+    def _run_inline(simulator, patterns, task, good_chunks):
+        index, partition, drop = task
+        partial = simulator._simulate_ppsfp(
+            patterns, partition, drop, good_chunks=good_chunks
+        )
+        return index, partial
+
+    @staticmethod
+    def _context():
+        # fork shares the parent's loaded modules and netlist for free;
+        # platforms without it (Windows, macOS spawn-default) fall back to
+        # the default start method and ship state through the initializer.
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return multiprocessing.get_context()
+
+    def _fill_stats(
+        self, result, partials, tasks, jobs, good_seconds, good_words, start_time
+    ):
+        per_partition: List[Dict[str, object]] = []
+        for index, partial in sorted(partials, key=lambda pair: pair[0]):
+            stats = partial.stats
+            per_partition.append(
+                {
+                    "partition": index,
+                    "faults": len(tasks[index][1]),
+                    "detected": len(partial.detected),
+                    "events_propagated": stats.get("events_propagated", 0),
+                    "words_evaluated": stats.get("words_evaluated", 0),
+                    "wall_time_s": stats.get("wall_time_s", 0.0),
+                }
+            )
+        walls = [p["wall_time_s"] for p in per_partition if p["wall_time_s"] > 0]
+        imbalance = (max(walls) / (sum(walls) / len(walls))) if walls else 1.0
+        result.stats.update(
+            engine="pool",
+            jobs=jobs,
+            seed=self.seed,
+            faults_simulated=result.total_faults,
+            events_propagated=sum(p["events_propagated"] for p in per_partition),
+            words_evaluated=good_words
+            + sum(p["words_evaluated"] for p in per_partition),
+            good_response_s=good_seconds,
+            load_imbalance=round(imbalance, 3),
+            partitions=per_partition,
+            wall_time_s=time.perf_counter() - start_time,
+        )
+
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "ppsfp": PpsfpBackend,
+    "pool": PoolBackend,
+}
+
+
+def get_backend(
+    name: str, jobs: Optional[int] = None, seed: int = 0
+) -> FaultSimBackend:
+    """Instantiate a backend by name (``serial``, ``ppsfp``, ``pool``)."""
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"
+        )
+    if name == "pool":
+        return PoolBackend(jobs=jobs, seed=seed)
+    return _BACKENDS[name]()

@@ -1,6 +1,6 @@
 """Fault simulation engines.
 
-Two stuck-at engines are provided, matching the E3 experiment:
+Three stuck-at engines are provided, matching the E3 experiment:
 
 * **serial** — one fault, one pattern, full-circuit re-evaluation.  The
   textbook baseline; trivially correct, painfully slow.
@@ -8,13 +8,23 @@ Two stuck-at engines are provided, matching the E3 experiment:
   machine word, good machine simulated once per word, each fault then
   propagated event-wise through its fanout cone only.  With fault dropping
   this is the production algorithm every commercial fault simulator uses.
+* **pool** — the PPSFP kernel sharded across a :mod:`multiprocessing` pool
+  (see :mod:`repro.sim.dispatch`): the collapsed fault list is partitioned
+  deterministically, each worker runs cone-limited PPSFP against a shared
+  good-machine response, and the partial results are min-merged.
 
 Transition-delay (launch-on-capture pairs) and bridging faults reuse the
 same cone machinery.
+
+Every ``simulate*`` call fills :attr:`FaultSimResult.stats` with
+per-run instrumentation (faults simulated, cone events propagated, packed
+words evaluated, wall time) so benchmarks can report speedup and detect
+load imbalance without re-deriving counters.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -25,19 +35,33 @@ from ..faults.model import OUTPUT_PIN, BridgingFault, StuckAtFault, TransitionFa
 from .parallel import WORD_WIDTH, ParallelSimulator, pack_patterns
 
 
+def _unique(faults: Iterable[object]) -> List[object]:
+    """Requested fault universe, first-occurrence order, duplicates removed.
+
+    Callers may hand the same fault twice (e.g. a subset assembled from
+    several heuristics); counting it twice would understate coverage and
+    list it twice among the survivors.
+    """
+    return list(dict.fromkeys(faults))
+
+
 @dataclass
 class FaultSimResult:
     """Outcome of a fault-simulation run.
 
     ``detected`` maps each detected fault to the index of the first pattern
     that caught it; ``undetected`` lists survivors.  ``coverage`` is the
-    detected fraction of the simulated universe.
+    detected fraction of the simulated universe.  ``stats`` carries engine
+    instrumentation: ``faults_simulated``, ``events_propagated``,
+    ``words_evaluated``, ``wall_time_s``, and for the pool backend a
+    ``partitions`` list with the same counters per worker partition.
     """
 
     total_faults: int
     detected: Dict[object, int] = field(default_factory=dict)
     undetected: List[object] = field(default_factory=list)
     patterns_simulated: int = 0
+    stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def coverage(self) -> float:
@@ -69,6 +93,26 @@ class FaultSimulator:
         # set of (reader position -> gate read).
         self._readers = list(self.view.output_readers)
         self._reader_set = set(self._readers)
+        # Lifetime instrumentation counters; simulate* methods snapshot
+        # deltas into FaultSimResult.stats.
+        self._events_propagated = 0
+        self._words_evaluated = 0
+
+    def _snapshot(self) -> Tuple[int, int, float]:
+        return self._events_propagated, self._words_evaluated, time.perf_counter()
+
+    def _fill_stats(
+        self, result: FaultSimResult, engine: str, since: Tuple[int, int, float]
+    ) -> FaultSimResult:
+        events0, words0, t0 = since
+        result.stats.update(
+            engine=engine,
+            faults_simulated=result.total_faults,
+            events_propagated=self._events_propagated - events0,
+            words_evaluated=self._words_evaluated - words0,
+            wall_time_s=time.perf_counter() - t0,
+        )
+        return result
 
     # ------------------------------------------------------------------
     # Core cone propagation
@@ -109,6 +153,8 @@ class FaultSimulator:
             gate = gates[gate_index]
             inputs = [faulty.get(driver, good[driver]) for driver in gate.fanin]
             word = evaluate_parallel(gate.type, inputs, mask)
+            self._events_propagated += 1
+            self._words_evaluated += 1
             if word == good[gate_index]:
                 faulty.pop(gate_index, None)
                 continue
@@ -134,6 +180,7 @@ class FaultSimulator:
             return {}
         inputs = [good[driver] for driver in gate.fanin]
         inputs[fault.pin] = forced
+        self._words_evaluated += 1
         return {fault.gate: evaluate_parallel(gate.type, inputs, mask)}
 
     def _detection_word(
@@ -168,38 +215,76 @@ class FaultSimulator:
         faults: Iterable[StuckAtFault],
         drop: bool = True,
         engine: str = "ppsfp",
+        jobs: Optional[int] = None,
+        seed: int = 0,
     ) -> FaultSimResult:
         """Run stuck-at fault simulation.
 
         With ``drop`` true (default) a fault leaves the active list at its
         first detection; otherwise every fault sees every pattern (useful
         for building diagnosis dictionaries and detection profiles).
+
+        ``engine`` selects the backend: ``"serial"``, ``"ppsfp"``, or
+        ``"pool"`` (multiprocess PPSFP; ``jobs`` workers, ``seed`` controls
+        the deterministic fault partitioning — results are identical for
+        any worker count).
         """
         if engine == "ppsfp":
             return self._simulate_ppsfp(patterns, faults, drop)
         if engine == "serial":
             return self._simulate_serial(patterns, faults, drop)
+        if engine == "pool":
+            from .dispatch import PoolBackend
+
+            return PoolBackend(jobs=jobs, seed=seed).run(
+                self, patterns, faults, drop=drop
+            )
         raise ValueError(f"unknown engine {engine!r}")
+
+    def good_response(
+        self, patterns: Sequence[Sequence[int]]
+    ) -> List[List[int]]:
+        """Good-machine words for every 64-pattern chunk of ``patterns``.
+
+        One list of packed gate words per chunk — the shared response the
+        pool backend computes once and hands to every worker partition.
+        """
+        chunks: List[List[int]] = []
+        for start in range(0, len(patterns), WORD_WIDTH):
+            chunk = patterns[start : start + WORD_WIDTH]
+            input_words = [
+                pack_patterns(chunk, position)
+                for position in range(self.view.num_inputs)
+            ]
+            chunks.append(self.parallel.evaluate_words(input_words, len(chunk)))
+            self._words_evaluated += self.parallel.num_scheduled
+        return chunks
 
     def _simulate_ppsfp(
         self,
         patterns: Sequence[Sequence[int]],
         faults: Iterable[StuckAtFault],
         drop: bool,
+        good_chunks: Optional[Sequence[Sequence[int]]] = None,
     ) -> FaultSimResult:
-        active = list(faults)
+        since = self._snapshot()
+        active = _unique(faults)
         result = FaultSimResult(total_faults=len(active))
-        for start in range(0, len(patterns), WORD_WIDTH):
+        for chunk_index, start in enumerate(range(0, len(patterns), WORD_WIDTH)):
             if drop and not active:
                 break
             chunk = patterns[start : start + WORD_WIDTH]
             n = len(chunk)
             mask = (1 << n) - 1
-            input_words = [
-                pack_patterns(chunk, position)
-                for position in range(self.view.num_inputs)
-            ]
-            good = self.parallel.evaluate_words(input_words, n)
+            if good_chunks is not None:
+                good = good_chunks[chunk_index]
+            else:
+                input_words = [
+                    pack_patterns(chunk, position)
+                    for position in range(self.view.num_inputs)
+                ]
+                good = self.parallel.evaluate_words(input_words, n)
+                self._words_evaluated += self.parallel.num_scheduled
             survivors: List[StuckAtFault] = []
             for fault in active:
                 seeds = self._stuck_at_seeds(fault, good, mask)
@@ -218,7 +303,7 @@ class FaultSimulator:
         result.undetected = [f for f in active if f not in result.detected]
         if not drop:
             result.patterns_simulated = len(patterns)
-        return result
+        return self._fill_stats(result, "ppsfp", since)
 
     def _simulate_serial(
         self,
@@ -227,13 +312,15 @@ class FaultSimulator:
         drop: bool,
     ) -> FaultSimResult:
         """Naive engine: full re-simulation per (fault, pattern)."""
-        active = list(faults)
+        since = self._snapshot()
+        active = _unique(faults)
         result = FaultSimResult(total_faults=len(active))
         for pattern_index, pattern in enumerate(patterns):
             if drop and not active:
                 break
             input_words = [int(bit) for bit in pattern]
             good = self.parallel.evaluate_words(input_words, 1)
+            self._words_evaluated += self.parallel.num_scheduled
             survivors: List[StuckAtFault] = []
             for fault in active:
                 if self._serial_detects(fault, input_words, good):
@@ -248,7 +335,7 @@ class FaultSimulator:
         result.undetected = [f for f in active if f not in result.detected]
         if not drop:
             result.patterns_simulated = len(patterns)
-        return result
+        return self._fill_stats(result, "serial", since)
 
     def _serial_detects(
         self, fault: StuckAtFault, input_words: Sequence[int], good: Sequence[int]
@@ -256,6 +343,7 @@ class FaultSimulator:
         """Full faulty-machine evaluation of one pattern (width-1 words)."""
         gates = self.netlist.gates
         words: List[int] = [0] * len(gates)
+        self._words_evaluated += self.parallel.num_scheduled
         forced = 1 if fault.value else 0
         for position, gate_index in enumerate(self.view.input_gates):
             words[gate_index] = input_words[position] & 1
@@ -359,7 +447,8 @@ class FaultSimulator:
         required transition at the fault site and the capture vector
         propagates the transient stuck-at effect to an observation point.
         """
-        active = list(faults)
+        since = self._snapshot()
+        active = _unique(faults)
         result = FaultSimResult(total_faults=len(active))
         for start in range(0, len(pattern_pairs), WORD_WIDTH):
             if drop and not active:
@@ -407,7 +496,7 @@ class FaultSimulator:
         result.undetected = [f for f in active if f not in result.detected]
         if not drop:
             result.patterns_simulated = len(pattern_pairs)
-        return result
+        return self._fill_stats(result, "ppsfp-transition", since)
 
     def _site_value(self, fault, good: Sequence[int]) -> int:
         """Good-machine word at a fault site (branch value = stem value)."""
@@ -432,7 +521,8 @@ class FaultSimulator:
         driven values and then propagated once (no fixpoint iteration), the
         standard zero-feedback assumption for prototype bridging analysis.
         """
-        active = list(faults)
+        since = self._snapshot()
+        active = _unique(faults)
         result = FaultSimResult(total_faults=len(active))
         for start in range(0, len(patterns), WORD_WIDTH):
             if drop and not active:
@@ -472,7 +562,7 @@ class FaultSimulator:
         result.undetected = [f for f in active if f not in result.detected]
         if not drop:
             result.patterns_simulated = len(patterns)
-        return result
+        return self._fill_stats(result, "ppsfp-bridging", since)
 
 
 def _resolve_words(

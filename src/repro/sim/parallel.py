@@ -48,6 +48,9 @@ class ParallelSimulator:
             for g in (netlist.gates[i] for i in netlist.topo_order)
             if g.type != GateType.INPUT and not g.is_sequential
         ]
+        #: Gate evaluations per full-circuit pass (instrumentation unit for
+        #: the fault simulators' ``words_evaluated`` counters).
+        self.num_scheduled = len(self._schedule)
 
     def evaluate_words(self, input_words: Sequence[int], n_patterns: int) -> List[int]:
         """Evaluate all gates for a packed batch of ``n_patterns`` patterns.

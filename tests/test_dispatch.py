@@ -1,0 +1,287 @@
+"""Differential harness across the fault-simulation backends.
+
+The dispatch layer's contract is absolute: serial, ppsfp, and pool must
+produce *identical* ``detected`` maps (same faults, same first-detecting
+pattern indices) and identical ``undetected`` lists on every circuit, for
+every worker count, including the degenerate 1-worker and 0-fault cases.
+These tests are the evidence that lets every downstream flow (ATPG
+top-off, compression grading, E3/E4 benchmarks) switch backends freely.
+"""
+
+import pytest
+
+from repro.atpg.random_gen import random_patterns
+from repro.circuit import benchmarks, generators
+from repro.faults import (
+    collapse_faults,
+    full_fault_list,
+    full_transition_list,
+    sample_bridging_faults,
+)
+from repro.sim.dispatch import (
+    BACKEND_NAMES,
+    PoolBackend,
+    default_partition_count,
+    get_backend,
+    merge_results,
+    partition_faults,
+)
+from repro.sim.faultsim import FaultSimResult, FaultSimulator
+
+
+def _circuits():
+    """≥5 generated circuits: combinational plus full-scan sequential."""
+    return [
+        benchmarks.c17(),
+        generators.random_circuit(5, 25, seed=101),
+        generators.random_circuit(8, 60, seed=202),
+        generators.adder(4),
+        generators.random_sequential(4, 40, 5, seed=303),
+        generators.random_sequential(6, 50, 8, seed=404),
+    ]
+
+
+def _universe(netlist):
+    faults, _ = collapse_faults(netlist, full_fault_list(netlist))
+    return faults
+
+
+class TestDifferentialAgreement:
+    @pytest.mark.parametrize("index", range(6))
+    def test_all_backends_agree(self, index):
+        netlist = _circuits()[index]
+        simulator = FaultSimulator(netlist)
+        faults = _universe(netlist)
+        patterns = random_patterns(simulator.view.num_inputs, 96, seed=index)
+
+        reference = simulator.simulate(patterns, faults, engine="ppsfp")
+        serial = simulator.simulate(patterns, faults, engine="serial")
+        pool = simulator.simulate(patterns, faults, engine="pool", jobs=2)
+
+        # Identical detected sets AND identical first-detection indices.
+        assert serial.detected == reference.detected
+        assert pool.detected == reference.detected
+        assert serial.undetected == reference.undetected
+        assert pool.undetected == reference.undetected
+        assert pool.patterns_simulated == reference.patterns_simulated
+        assert pool.total_faults == reference.total_faults == len(faults)
+
+    @pytest.mark.parametrize("index", range(6))
+    def test_no_drop_agreement(self, index):
+        netlist = _circuits()[index]
+        simulator = FaultSimulator(netlist)
+        faults = _universe(netlist)
+        patterns = random_patterns(simulator.view.num_inputs, 70, seed=1000 + index)
+        reference = simulator.simulate(patterns, faults, drop=False, engine="ppsfp")
+        pool = simulator.simulate(patterns, faults, drop=False, engine="pool", jobs=2)
+        assert pool.detected == reference.detected
+        assert pool.undetected == reference.undetected
+        assert pool.patterns_simulated == len(patterns)
+
+    def test_single_worker_edge_case(self):
+        netlist = generators.random_circuit(6, 40, seed=7)
+        simulator = FaultSimulator(netlist)
+        faults = _universe(netlist)
+        patterns = random_patterns(simulator.view.num_inputs, 96, seed=7)
+        reference = simulator.simulate(patterns, faults, engine="ppsfp")
+        one = simulator.simulate(patterns, faults, engine="pool", jobs=1)
+        assert one.detected == reference.detected
+        assert one.undetected == reference.undetected
+
+    def test_zero_fault_edge_case(self):
+        netlist = benchmarks.c17()
+        simulator = FaultSimulator(netlist)
+        patterns = random_patterns(simulator.view.num_inputs, 16, seed=0)
+        for engine in BACKEND_NAMES:
+            result = simulator.simulate(patterns, [], engine=engine)
+            assert result.total_faults == 0
+            assert result.detected == {}
+            assert result.undetected == []
+            assert result.coverage == 1.0
+
+    def test_worker_count_never_changes_results(self):
+        """Same seed → same partitions → same merge, for any jobs value."""
+        netlist = generators.random_circuit(7, 50, seed=5)
+        simulator = FaultSimulator(netlist)
+        faults = _universe(netlist)
+        patterns = random_patterns(simulator.view.num_inputs, 64, seed=5)
+        runs = [
+            simulator.simulate(patterns, faults, engine="pool", jobs=jobs, seed=9)
+            for jobs in (1, 2, 3, 4)
+        ]
+        for other in runs[1:]:
+            assert other.detected == runs[0].detected
+            assert other.undetected == runs[0].undetected
+
+
+class TestPartitioning:
+    def test_partitions_deterministic_given_seed(self):
+        netlist = generators.random_circuit(6, 40, seed=3)
+        faults = _universe(netlist)
+        a = partition_faults(faults, 4, seed=11)
+        b = partition_faults(faults, 4, seed=11)
+        assert a == b
+        c = partition_faults(faults, 4, seed=12)
+        assert a != c  # a different seed shuffles differently
+
+    def test_partitions_cover_universe_exactly(self):
+        netlist = generators.random_circuit(6, 40, seed=3)
+        faults = _universe(netlist)
+        shards = partition_faults(faults, 5, seed=0)
+        flattened = [fault for shard in shards for fault in shard]
+        assert sorted(flattened) == sorted(faults)
+        assert max(len(s) for s in shards) - min(len(s) for s in shards) <= 1
+
+    def test_partition_count_independent_of_jobs(self):
+        assert default_partition_count(0) == 0
+        assert default_partition_count(1) == 1
+        assert default_partition_count(100) == 8
+        assert default_partition_count(10_000) >= 32
+
+    def test_min_merge_keeps_earliest_detection(self):
+        fault = ("f", 0)
+        a = FaultSimResult(total_faults=1, detected={fault: 7}, patterns_simulated=8)
+        b = FaultSimResult(total_faults=1, detected={fault: 3}, patterns_simulated=4)
+        merged = merge_results([a, b], [fault], 16, drop=True)
+        assert merged.detected == {fault: 3}
+        assert merged.patterns_simulated == 8
+        assert merged.undetected == []
+
+
+class TestStatsInstrumentation:
+    def test_pool_stats_totals(self):
+        netlist = generators.random_circuit(7, 55, seed=21)
+        simulator = FaultSimulator(netlist)
+        faults = _universe(netlist)
+        patterns = random_patterns(simulator.view.num_inputs, 64, seed=21)
+        result = simulator.simulate(patterns, faults, engine="pool", jobs=2)
+        stats = result.stats
+        assert stats["engine"] == "pool"
+        assert stats["jobs"] == 2
+        assert stats["faults_simulated"] == len(faults)
+        partitions = stats["partitions"]
+        assert sum(p["faults"] for p in partitions) == len(faults)
+        assert sum(p["detected"] for p in partitions) == len(result.detected)
+        assert stats["events_propagated"] == sum(
+            p["events_propagated"] for p in partitions
+        )
+        assert stats["words_evaluated"] > 0
+        assert stats["wall_time_s"] > 0
+        assert stats["load_imbalance"] >= 1.0
+
+    def test_single_process_stats_present(self):
+        netlist = benchmarks.c17()
+        simulator = FaultSimulator(netlist)
+        faults = full_fault_list(netlist)
+        patterns = random_patterns(simulator.view.num_inputs, 32, seed=2)
+        for engine in ("serial", "ppsfp"):
+            result = simulator.simulate(patterns, faults, engine=engine)
+            assert result.stats["engine"] == engine
+            assert result.stats["faults_simulated"] == len(faults)
+            assert result.stats["words_evaluated"] > 0
+
+    def test_get_backend_registry(self):
+        for name in BACKEND_NAMES:
+            assert get_backend(name).name == name
+        backend = get_backend("pool", jobs=3, seed=4)
+        assert isinstance(backend, PoolBackend)
+        assert backend.jobs == 3 and backend.seed == 4
+        with pytest.raises(ValueError):
+            get_backend("gpu")
+
+
+class TestExplicitSubsetCoverage:
+    def test_total_faults_reflects_requested_universe(self):
+        """An explicit subset + dropping must report coverage over exactly
+        the requested universe — duplicates must not inflate it."""
+        netlist = benchmarks.c17()
+        simulator = FaultSimulator(netlist)
+        faults = full_fault_list(netlist)
+        subset = faults[:6]
+        patterns = random_patterns(simulator.view.num_inputs, 64, seed=13)
+        for engine in BACKEND_NAMES:
+            result = simulator.simulate(patterns, subset, drop=True, engine=engine)
+            assert result.total_faults == len(subset)
+            assert result.coverage == len(result.detected) / len(subset)
+
+    @pytest.mark.parametrize("engine", BACKEND_NAMES)
+    def test_duplicate_faults_deduplicated(self, engine):
+        netlist = benchmarks.c17()
+        simulator = FaultSimulator(netlist)
+        faults = full_fault_list(netlist)
+        doubled = faults[:4] + faults[:4] + [faults[0]]
+        patterns = random_patterns(simulator.view.num_inputs, 64, seed=13)
+        result = simulator.simulate(patterns, doubled, drop=True, engine=engine)
+        assert result.total_faults == 4
+        assert len(result.detected) + len(result.undetected) == 4
+        assert len(set(result.undetected)) == len(result.undetected)
+        assert result.coverage <= 1.0
+
+
+class TestFlowThreading:
+    """The backend choice reaches the ATPG and compression flows."""
+
+    def test_run_atpg_pool_backend_matches_ppsfp(self):
+        from repro.atpg.engine import run_atpg
+
+        netlist = generators.random_circuit(6, 40, seed=17)
+        base = run_atpg(netlist, seed=3, backend="ppsfp")
+        pooled = run_atpg(netlist, seed=3, backend="pool", jobs=2)
+        assert pooled.fault_coverage == base.fault_coverage
+        assert pooled.detected == base.detected
+        assert len(pooled.patterns) == len(base.patterns)
+
+    def test_compressed_atpg_grading_backend(self):
+        from repro.compression.edt import EdtSystem
+        from repro.compression.flow import run_compressed_atpg
+        from repro.scan import insert_scan
+
+        netlist = generators.random_sequential(4, 60, 16, seed=9)
+        design = insert_scan(netlist, n_chains=4)
+        edt = EdtSystem(design, n_input_channels=2, n_output_channels=2)
+        graded = run_compressed_atpg(
+            edt, seed=1, grade=True, backend="pool", jobs=2
+        )
+        assert graded.graded_coverage is not None
+        assert graded.grading_stats["engine"] == "pool"
+        # The independent re-grade can only confirm more, never less, than
+        # the drop-based bookkeeping (same patterns, same universe).
+        assert graded.graded_coverage >= graded.fault_coverage - 1e-9
+
+
+class TestTransitionBridgingParity:
+    """Regression pins: the dispatch refactor must leave the transition and
+    bridging engines bit-identical to the pre-refactor serial path (values
+    captured from the seed implementation)."""
+
+    @staticmethod
+    def _digest(result):
+        import hashlib
+
+        items = sorted((repr(f), i) for f, i in result.detected.items())
+        return hashlib.sha256(repr(items).encode()).hexdigest()[:16]
+
+    def test_transition_results_pinned(self):
+        netlist = generators.random_sequential(5, 45, 6, seed=11)
+        simulator = FaultSimulator(netlist)
+        faults = full_transition_list(netlist)
+        patterns = random_patterns(simulator.view.num_inputs, 64, seed=11)
+        pairs = list(zip(patterns[::2], patterns[1::2]))
+        assert len(faults) == 288
+        for drop in (True, False):
+            result = simulator.simulate_transition(pairs, faults, drop=drop)
+            assert len(result.detected) == 243
+            assert self._digest(result) == "a4950a198adb560c"
+        assert result.stats["engine"] == "ppsfp-transition"
+
+    def test_bridging_results_pinned(self):
+        netlist = generators.random_circuit(7, 55, seed=12)
+        simulator = FaultSimulator(netlist)
+        faults = sample_bridging_faults(netlist, 30, seed=12)
+        patterns = random_patterns(simulator.view.num_inputs, 96, seed=12)
+        assert len(faults) == 30
+        for drop in (True, False):
+            result = simulator.simulate_bridging(patterns, faults, drop=drop)
+            assert len(result.detected) == 30
+            assert self._digest(result) == "27e2f99e35bf05c6"
+        assert result.stats["engine"] == "ppsfp-bridging"
