@@ -25,6 +25,7 @@ from ..faults.collapse import collapse_faults
 from ..faults.model import StuckAtFault
 from ..faults.stuck_at import full_fault_list
 from ..sim.faultsim import FaultSimulator
+from ..sim.parallel import WORD_WIDTH
 from .compaction import care_bit_stats, static_compact
 from .podem import Podem
 from .random_gen import random_patterns
@@ -118,25 +119,28 @@ def run_atpg(
     seed: int = 0,
     backend: str = "ppsfp",
     jobs: Optional[int] = None,
+    word_width: int = WORD_WIDTH,
 ) -> AtpgResult:
     """Run the full stuck-at ATPG flow on ``netlist``.
 
-    ``random_batches`` bounds the random phase (64 patterns per batch); the
-    phase also stops early when a batch detects fewer than
-    ``min_batch_yield`` new faults.  Deterministic cubes are statically
-    compacted when ``compact`` is set, then X-filled with ``fill_mode``.
+    ``random_batches`` bounds the random phase (``word_width`` patterns per
+    batch — one packed simulation word each); the phase also stops early
+    when a batch detects fewer than ``min_batch_yield`` new faults.
+    Deterministic cubes are statically compacted when ``compact`` is set,
+    then X-filled with ``fill_mode``.
 
     ``backend``/``jobs`` pick the fault-simulation engine for the batch
     passes (random phase, final verification, coverage top-off) — see
-    :mod:`repro.sim.dispatch`.  The per-cube dynamic-dropping sims inside
-    phase 2 always run single-process PPSFP: they grade one pattern at a
-    time, where pool dispatch is pure overhead.
+    :mod:`repro.sim.dispatch`.  ``word_width`` sets the patterns packed per
+    simulation word (results are identical for every width).  The per-cube
+    dynamic-dropping sims inside phase 2 always run single-process PPSFP:
+    they grade one pattern at a time, where pool dispatch is pure overhead.
     """
     start = time.perf_counter()
     netlist.finalize()
     if faults is None:
         faults, _ = collapse_faults(netlist, full_fault_list(netlist))
-    simulator = FaultSimulator(netlist)
+    simulator = FaultSimulator(netlist, word_width=word_width)
     rng = random.Random(seed)
     result = AtpgResult(total_faults=len(faults))
     remaining = list(faults)
@@ -154,7 +158,9 @@ def run_atpg(
     for batch in range(random_batches):
         if not remaining:
             break
-        batch_patterns = random_patterns(n_inputs, 64, seed=seed * 1000 + batch)
+        batch_patterns = random_patterns(
+            n_inputs, word_width, seed=seed * 1000 + batch
+        )
         sim = batch_sim(batch_patterns, remaining)
         if sim.detected:
             used = sorted(set(sim.detected.values()))
@@ -222,10 +228,16 @@ def run_atpg(
         ]
         check = batch_sim(result.patterns, counted)
         missing = [f for f in counted if f not in check.detected]
-        if missing:
-            topoff = batch_sim(phase2_fills, missing)
-            needed = sorted(set(topoff.detected.values()))
-            result.patterns.extend(phase2_fills[index] for index in needed)
+        # Top off one fill at a time: each fill was already simulated as a
+        # single-pattern block during phase 2, so every good-machine block
+        # here comes straight from the response cache — no recomputation.
+        for fill in phase2_fills:
+            if not missing:
+                break
+            topoff = simulator.simulate([fill], missing, drop=True)
+            if topoff.detected:
+                result.patterns.append(fill)
+                missing = [f for f in missing if f not in topoff.detected]
 
     result.cpu_seconds = time.perf_counter() - start
     return result

@@ -23,7 +23,7 @@ from ..faults.collapse import collapse_faults
 from ..faults.model import StuckAtFault
 from ..faults.stuck_at import full_fault_list
 from ..sim.faultsim import FaultSimulator
-from ..sim.parallel import ParallelSimulator
+from ..sim.parallel import WORD_WIDTH
 
 
 @dataclass
@@ -49,14 +49,26 @@ class LbistResult:
 
 
 class StumpsController:
-    """PRPG + MISR wrapped around one netlist's full-scan view."""
+    """PRPG + MISR wrapped around one netlist's full-scan view.
 
-    def __init__(self, netlist: Netlist, config: Optional[LbistConfig] = None):
+    ``word_width`` sets the patterns packed per simulation word for both
+    the coverage grading and the signature pass.  The two passes share one
+    :class:`ParallelSimulator`, so with chunking aligned (``checkpoint_every``
+    a multiple of ``word_width``) the signature pass replays the coverage
+    loop's good-machine blocks straight from the response cache.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        config: Optional[LbistConfig] = None,
+        word_width: int = WORD_WIDTH,
+    ):
         netlist.finalize()
         self.netlist = netlist
         self.config = config or LbistConfig()
-        self.simulator = FaultSimulator(netlist)
-        self.parallel = ParallelSimulator(netlist)
+        self.simulator = FaultSimulator(netlist, word_width=word_width)
+        self.parallel = self.simulator.parallel
         n_inputs = self.simulator.view.num_inputs
         self._prpg = LFSR(self.config.prpg_length, seed=self.config.seed | 1)
         self._shifter = PhaseShifter(
@@ -200,6 +212,7 @@ def run_weighted_lbist(
     n_patterns: int,
     faults: Optional[Sequence[StuckAtFault]] = None,
     seed: int = 1,
+    word_width: int = WORD_WIDTH,
 ) -> LbistResult:
     """LBIST with COP-derived weighted-random patterns.
 
@@ -213,13 +226,13 @@ def run_weighted_lbist(
     netlist.finalize()
     if faults is None:
         faults, _ = collapse_faults(netlist, full_fault_list(netlist))
-    simulator = FaultSimulator(netlist)
+    simulator = FaultSimulator(netlist, word_width=word_width)
     weights = derive_input_weights(netlist)
     result = LbistResult(total_faults=len(faults))
     remaining = list(faults)
     detected_total = 0
     applied = 0
-    chunk_size = 64
+    chunk_size = word_width
     while applied < n_patterns:
         count = min(chunk_size, n_patterns - applied)
         chunk = weighted_random_patterns(
@@ -247,8 +260,9 @@ def coverage_curve(
     config: Optional[LbistConfig] = None,
     faults: Optional[Sequence[StuckAtFault]] = None,
     checkpoint_every: int = 64,
+    word_width: int = WORD_WIDTH,
 ) -> List[Dict[str, float]]:
     """Convenience: just the (patterns, coverage) series for E2/E6 plots."""
-    controller = StumpsController(netlist, config)
+    controller = StumpsController(netlist, config, word_width=word_width)
     result = controller.run(n_patterns, faults, checkpoint_every)
     return result.coverage_points

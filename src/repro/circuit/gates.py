@@ -186,6 +186,75 @@ def evaluate_parallel(gate_type: GateType, inputs: Sequence[int], mask: int) -> 
     raise ValueError(f"unsupported gate type: {gate_type}")
 
 
+def compile_parallel_evaluator(gate_type: GateType, arity: int):
+    """A specialized closure equivalent to :func:`evaluate_parallel`.
+
+    Returns ``fn(inputs, mask) -> word`` with the gate type's dispatch chain
+    resolved once at compile time and 2-input forms unrolled — the hot inner
+    call of wide-word fault simulation, where the generic evaluator's
+    ``if``-ladder and loop dominate the per-event cost.
+
+    Precondition: every input word is already masked (all simulation engines
+    maintain that invariant), so only inverting outputs re-mask.
+    """
+    if gate_type == GateType.CONST0:
+        return lambda inputs, mask: 0
+    if gate_type == GateType.CONST1:
+        return lambda inputs, mask: mask
+    if gate_type in (GateType.BUF, GateType.OUTPUT, GateType.DFF, GateType.SDFF):
+        return lambda inputs, mask: inputs[0]
+    if gate_type == GateType.NOT:
+        return lambda inputs, mask: ~inputs[0] & mask
+    if gate_type == GateType.MUX2:
+        def mux2(inputs, mask):
+            select = inputs[0]
+            return (~select & inputs[1]) | (select & inputs[2])
+
+        return mux2
+    if gate_type in (GateType.AND, GateType.NAND):
+        if arity == 2 and gate_type == GateType.AND:
+            return lambda inputs, mask: inputs[0] & inputs[1]
+        if arity == 2:
+            return lambda inputs, mask: ~(inputs[0] & inputs[1]) & mask
+
+        def and_n(inputs, mask, invert=gate_type == GateType.NAND):
+            acc = inputs[0]
+            for word in inputs[1:]:
+                acc &= word
+            return (~acc & mask) if invert else acc
+
+        return and_n
+    if gate_type in (GateType.OR, GateType.NOR):
+        if arity == 2 and gate_type == GateType.OR:
+            return lambda inputs, mask: inputs[0] | inputs[1]
+        if arity == 2:
+            return lambda inputs, mask: ~(inputs[0] | inputs[1]) & mask
+
+        def or_n(inputs, mask, invert=gate_type == GateType.NOR):
+            acc = inputs[0]
+            for word in inputs[1:]:
+                acc |= word
+            return (~acc & mask) if invert else acc
+
+        return or_n
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        if arity == 2 and gate_type == GateType.XOR:
+            return lambda inputs, mask: inputs[0] ^ inputs[1]
+        if arity == 2:
+            return lambda inputs, mask: ~(inputs[0] ^ inputs[1]) & mask
+
+        def xor_n(inputs, mask, invert=gate_type == GateType.XNOR):
+            acc = inputs[0]
+            for word in inputs[1:]:
+                acc ^= word
+            return (~acc & mask) if invert else acc
+
+        return xor_n
+    if gate_type == GateType.INPUT:
+        raise ValueError("INPUT gates are driven externally, not evaluated")
+    raise ValueError(f"unsupported gate type: {gate_type}")
+
+
 def evaluate_d(gate_type: GateType, inputs: Sequence[Tuple[int, int]]) -> Tuple[int, int]:
     """D-calculus evaluation: evaluate the good and faulty rails separately."""
     good = evaluate(gate_type, [value[0] for value in inputs])

@@ -11,6 +11,7 @@ combinational ATPG.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
@@ -66,6 +67,7 @@ class Netlist:
         self.outputs: List[int] = []
         self.flops: List[int] = []
         self._topo: Optional[List[int]] = None
+        self._signature: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -101,6 +103,7 @@ class Netlist:
         elif gate_type in SEQUENTIAL_TYPES:
             self.flops.append(index)
         self._topo = None
+        self._signature = None
         return index
 
     def index_of(self, name: str) -> int:
@@ -264,6 +267,23 @@ class Netlist:
             "flops": len(self.flops),
             "depth": depth,
         }
+
+    def structural_signature(self) -> str:
+        """Stable hash of the structural graph, independent of gate names.
+
+        Two netlists with the same gate types and fanin topology in the same
+        index order share a signature even when their names differ, so
+        :meth:`clone` copies and replicated cores hit the same entries of the
+        good-machine response cache (:mod:`repro.sim.goodcache`).  Memoized;
+        invalidated by :meth:`add`.
+        """
+        if self._signature is None:
+            hasher = hashlib.sha256()
+            for gate in self.gates:
+                hasher.update(gate.type.value.encode("ascii"))
+                hasher.update(repr(tuple(gate.fanin)).encode("ascii"))
+            self._signature = hasher.hexdigest()
+        return self._signature
 
     def clone(self, name: Optional[str] = None) -> "Netlist":
         """Deep-copy the structural graph (fanout/levels recomputed lazily)."""

@@ -31,6 +31,7 @@ from .faults import collapse_faults, full_fault_list
 from .scan.patfile import format_patterns, load_patterns
 from .sim.dispatch import BACKEND_NAMES
 from .sim.faultsim import FaultSimulator
+from .sim.parallel import WORD_WIDTH, WORD_WIDTHS
 from .sim.view import CombinationalView
 
 
@@ -67,6 +68,7 @@ def _cmd_atpg(args) -> int:
         backtrack_limit=args.backtrack_limit,
         backend=args.backend,
         jobs=args.jobs,
+        word_width=args.word_width,
     )
     row = atpg_table_row(netlist, result)
     for key, value in row.items():
@@ -84,7 +86,7 @@ def _cmd_faultsim(args) -> int:
     netlist = _load_circuit(args.circuit)
     pattern_file = load_patterns(args.patterns)
     faults, _ = collapse_faults(netlist, full_fault_list(netlist))
-    simulator = FaultSimulator(netlist)
+    simulator = FaultSimulator(netlist, word_width=args.word_width)
     filled = [
         [0 if v not in (0, 1) else v for v in pattern]
         for pattern in pattern_file.patterns
@@ -99,10 +101,11 @@ def _cmd_faultsim(args) -> int:
     stats = result.stats
     if stats:
         line = (
-            f"[{stats.get('engine')}] "
+            f"[{stats.get('engine')} w={stats.get('word_width', WORD_WIDTH)}] "
             f"{stats.get('faults_simulated', 0)} faults, "
             f"{stats.get('events_propagated', 0)} events, "
             f"{stats.get('words_evaluated', 0)} words, "
+            f"{stats.get('good_cache_hits', 0)} cached good blocks, "
             f"{stats.get('wall_time_s', 0.0):.3f}s"
         )
         if "jobs" in stats:
@@ -117,7 +120,7 @@ def _cmd_faultsim(args) -> int:
 
 def _cmd_lbist(args) -> int:
     netlist = _load_circuit(args.circuit)
-    controller = StumpsController(netlist)
+    controller = StumpsController(netlist, word_width=args.word_width)
     result = controller.run(args.patterns)
     for point in result.coverage_points:
         print(f"{int(point['patterns']):6d} patterns: {point['coverage']:.4f}")
@@ -141,6 +144,27 @@ def _cmd_plan(_args) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _add_word_width_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--word-width",
+        type=_positive_int,
+        default=WORD_WIDTH,
+        help=(
+            "patterns packed per simulation word "
+            f"(default: {WORD_WIDTH}; characterized ladder: "
+            f"{'/'.join(str(w) for w in WORD_WIDTHS)}; results are "
+            "bit-identical for every width)"
+        ),
+    )
+
+
 def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend",
@@ -154,6 +178,7 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="worker processes for --backend pool (default: CPU count)",
     )
+    _add_word_width_argument(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -187,6 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
     lbist = commands.add_parser("lbist", help="run STUMPS logic BIST")
     lbist.add_argument("circuit")
     lbist.add_argument("--patterns", type=int, default=512)
+    _add_word_width_argument(lbist)
     lbist.set_defaults(handler=_cmd_lbist)
 
     mbist = commands.add_parser("mbist", help="March coverage matrix")

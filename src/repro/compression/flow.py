@@ -27,6 +27,7 @@ from ..faults.model import StuckAtFault
 from ..faults.stuck_at import full_fault_list
 from ..scan.insertion import ScanDesign
 from ..sim.faultsim import FaultSimulator
+from ..sim.parallel import WORD_WIDTH
 from .edt import EdtSystem, EncodedPattern
 
 
@@ -88,6 +89,7 @@ def run_compressed_atpg(
     grade: bool = False,
     backend: str = "ppsfp",
     jobs: Optional[int] = None,
+    word_width: int = WORD_WIDTH,
 ) -> CompressedAtpgResult:
     """Generate compressed patterns with fault dropping on decompressed data.
 
@@ -101,13 +103,15 @@ def run_compressed_atpg(
     against the full fault universe on the chosen ``backend``/``jobs``
     (see :mod:`repro.sim.dispatch`) — the cross-check a tester sign-off
     would run — filling ``graded_coverage`` and ``grading_stats``.
+    ``word_width`` sets the patterns packed per simulation word for every
+    fault-simulation pass in the flow.
     """
     start = time.perf_counter()
     design = edt.design
     netlist = design.netlist
     if faults is None:
         faults, _ = collapse_faults(netlist, full_fault_list(netlist))
-    simulator = FaultSimulator(netlist)
+    simulator = FaultSimulator(netlist, word_width=word_width)
     rng = random.Random(seed)
     result = CompressedAtpgResult(total_faults=len(faults))
     remaining = list(faults)

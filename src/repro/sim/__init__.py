@@ -11,9 +11,16 @@ from .dispatch import (
     partition_faults,
 )
 from .faultsim import FaultSimResult, FaultSimulator
+from .goodcache import DEFAULT_CACHE, GoodMachineCache
 from .logicsim import LogicSimulator
 from .seqfaultsim import LANES_PER_WORD, SequentialFaultSimulator
-from .parallel import WORD_WIDTH, ParallelSimulator, pack_patterns, unpack_word
+from .parallel import (
+    WORD_WIDTH,
+    WORD_WIDTHS,
+    ParallelSimulator,
+    pack_patterns,
+    unpack_word,
+)
 from .view import CombinationalView
 
 __all__ = [
@@ -33,6 +40,9 @@ __all__ = [
     "LANES_PER_WORD",
     "CombinationalView",
     "WORD_WIDTH",
+    "WORD_WIDTHS",
+    "GoodMachineCache",
+    "DEFAULT_CACHE",
     "pack_patterns",
     "unpack_word",
 ]

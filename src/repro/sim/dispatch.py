@@ -160,9 +160,15 @@ class PpsfpBackend(FaultSimBackend):
 _WORKER_STATE: Optional[Tuple[FaultSimulator, Sequence, Sequence]] = None
 
 
-def _pool_initializer(netlist, patterns, good_chunks) -> None:
+def _pool_initializer(netlist, patterns, good_chunks, word_width) -> None:
+    # Workers must chunk patterns exactly like the parent that produced
+    # ``good_chunks``, so the parent's word width travels with the state.
     global _WORKER_STATE
-    _WORKER_STATE = (FaultSimulator(netlist), patterns, good_chunks)
+    _WORKER_STATE = (
+        FaultSimulator(netlist, word_width=word_width),
+        patterns,
+        good_chunks,
+    )
 
 
 def _pool_partition(task: Tuple[int, List[StuckAtFault], bool]):
@@ -211,7 +217,11 @@ class PoolBackend(FaultSimBackend):
         shards = partition_faults(universe, n_partitions, self.seed)
 
         good_start = time.perf_counter()
+        parallel = simulator.parallel
+        passes0, hits0 = parallel.evaluations, parallel.cache_hits
         good_chunks = simulator.good_response(patterns)
+        good_words = (parallel.evaluations - passes0) * parallel.num_scheduled
+        good_hits = parallel.cache_hits - hits0
         good_seconds = time.perf_counter() - good_start
 
         tasks = [(index, shard, drop) for index, shard in enumerate(shards)]
@@ -229,17 +239,23 @@ class PoolBackend(FaultSimBackend):
             with context.Pool(
                 processes=min(jobs, len(tasks)),
                 initializer=_pool_initializer,
-                initargs=(simulator.netlist, patterns, good_chunks),
+                initargs=(
+                    simulator.netlist,
+                    patterns,
+                    good_chunks,
+                    simulator.word_width,
+                ),
             ) as pool:
                 partials = list(pool.imap_unordered(_pool_partition, tasks, chunksize=1))
 
         result = merge_results(
             [partial for _, partial in partials], universe, len(patterns), drop
         )
-        good_words = simulator.parallel.num_scheduled * len(good_chunks)
         self._fill_stats(
             result, partials, tasks, jobs, good_seconds, good_words, start_time
         )
+        result.stats["word_width"] = simulator.word_width
+        result.stats["good_cache_hits"] = good_hits
         return result
 
     @staticmethod

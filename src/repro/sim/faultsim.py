@@ -4,10 +4,11 @@ Three stuck-at engines are provided, matching the E3 experiment:
 
 * **serial** — one fault, one pattern, full-circuit re-evaluation.  The
   textbook baseline; trivially correct, painfully slow.
-* **ppsfp** — Parallel-Pattern Single-Fault Propagation: 64 patterns per
-  machine word, good machine simulated once per word, each fault then
-  propagated event-wise through its fanout cone only.  With fault dropping
-  this is the production algorithm every commercial fault simulator uses.
+* **ppsfp** — Parallel-Pattern Single-Fault Propagation: ``word_width``
+  patterns per machine word (64 by default, up to 4096), good machine
+  simulated once per word, each fault then propagated event-wise through
+  its fanout cone only.  With fault dropping this is the production
+  algorithm every commercial fault simulator uses.
 * **pool** — the PPSFP kernel sharded across a :mod:`multiprocessing` pool
   (see :mod:`repro.sim.dispatch`): the collapsed fault list is partitioned
   deterministically, each worker runs cone-limited PPSFP against a shared
@@ -29,10 +30,11 @@ from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..circuit.gates import GateType, evaluate_parallel
+from ..circuit.gates import GateType, compile_parallel_evaluator, evaluate_parallel
 from ..circuit.netlist import Netlist
 from ..faults.model import OUTPUT_PIN, BridgingFault, StuckAtFault, TransitionFault
-from .parallel import WORD_WIDTH, ParallelSimulator, pack_patterns
+from . import goodcache
+from .parallel import WORD_WIDTH, ParallelSimulator
 
 
 def _unique(faults: Iterable[object]) -> List[object]:
@@ -78,13 +80,34 @@ class FaultSimResult:
 
 
 class FaultSimulator:
-    """Stuck-at / transition / bridging fault simulation over one netlist."""
+    """Stuck-at / transition / bridging fault simulation over one netlist.
 
-    def __init__(self, netlist: Netlist):
+    ``word_width`` sets the patterns packed per PPSFP word (default 64; see
+    :data:`repro.sim.parallel.WORD_WIDTHS` for the characterized ladder) —
+    results are bit-identical for every width.  ``cache`` configures the
+    good-machine response cache (default: the process-wide cache; ``None``
+    disables it).
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        word_width: int = WORD_WIDTH,
+        cache: object = goodcache.USE_DEFAULT,
+    ):
         netlist.finalize()
         self.netlist = netlist
-        self.parallel = ParallelSimulator(netlist)
+        self.parallel = ParallelSimulator(netlist, word_width=word_width, cache=cache)
+        self.word_width = self.parallel.word_width
         self.view = self.parallel.view
+        # Per-gate compiled evaluators for cone propagation: the gate-type
+        # dispatch chain is resolved once here instead of once per event.
+        self._evaluators = [
+            None
+            if gate.type == GateType.INPUT
+            else compile_parallel_evaluator(gate.type, len(gate.fanin))
+            for gate in netlist.gates
+        ]
         order = netlist.topo_order
         self._topo_position = [0] * len(netlist.gates)
         for position, gate_index in enumerate(order):
@@ -98,18 +121,34 @@ class FaultSimulator:
         self._events_propagated = 0
         self._words_evaluated = 0
 
-    def _snapshot(self) -> Tuple[int, int, float]:
-        return self._events_propagated, self._words_evaluated, time.perf_counter()
+    def _snapshot(self) -> Tuple[int, int, int, int, int, float]:
+        parallel = self.parallel
+        return (
+            self._events_propagated,
+            self._words_evaluated,
+            parallel.evaluations,
+            parallel.cache_hits,
+            parallel.cache_misses,
+            time.perf_counter(),
+        )
 
     def _fill_stats(
-        self, result: FaultSimResult, engine: str, since: Tuple[int, int, float]
+        self, result: FaultSimResult, engine: str, since: Tuple[int, int, int, int, int, float]
     ) -> FaultSimResult:
-        events0, words0, t0 = since
+        events0, words0, passes0, hits0, misses0, t0 = since
+        parallel = self.parallel
+        good_passes = parallel.evaluations - passes0
         result.stats.update(
             engine=engine,
+            word_width=self.word_width,
             faults_simulated=result.total_faults,
             events_propagated=self._events_propagated - events0,
-            words_evaluated=self._words_evaluated - words0,
+            words_evaluated=self._words_evaluated
+            - words0
+            + good_passes * parallel.num_scheduled,
+            good_passes=good_passes,
+            good_cache_hits=parallel.cache_hits - hits0,
+            good_cache_misses=parallel.cache_misses - misses0,
             wall_time_s=time.perf_counter() - t0,
         )
         return result
@@ -131,6 +170,7 @@ class FaultSimulator:
         of all gates whose faulty word differs from good.
         """
         gates = self.netlist.gates
+        evaluators = self._evaluators
         faulty: Dict[int, int] = {}
         heap: List[Tuple[int, int]] = []
         enqueued = set()
@@ -152,7 +192,7 @@ class FaultSimulator:
             enqueued.discard(gate_index)
             gate = gates[gate_index]
             inputs = [faulty.get(driver, good[driver]) for driver in gate.fanin]
-            word = evaluate_parallel(gate.type, inputs, mask)
+            word = evaluators[gate_index](inputs, mask)
             self._events_propagated += 1
             self._words_evaluated += 1
             if word == good[gate_index]:
@@ -181,7 +221,7 @@ class FaultSimulator:
         inputs = [good[driver] for driver in gate.fanin]
         inputs[fault.pin] = forced
         self._words_evaluated += 1
-        return {fault.gate: evaluate_parallel(gate.type, inputs, mask)}
+        return {fault.gate: self._evaluators[fault.gate](inputs, mask)}
 
     def _detection_word(
         self,
@@ -244,20 +284,21 @@ class FaultSimulator:
     def good_response(
         self, patterns: Sequence[Sequence[int]]
     ) -> List[List[int]]:
-        """Good-machine words for every 64-pattern chunk of ``patterns``.
+        """Good-machine words for every ``word_width`` chunk of ``patterns``.
 
         One list of packed gate words per chunk — the shared response the
         pool backend computes once and hands to every worker partition.
+        Chunks already in the good-machine cache are served without a pass.
         """
         chunks: List[List[int]] = []
-        for start in range(0, len(patterns), WORD_WIDTH):
-            chunk = patterns[start : start + WORD_WIDTH]
-            input_words = [
-                pack_patterns(chunk, position)
-                for position in range(self.view.num_inputs)
-            ]
-            chunks.append(self.parallel.evaluate_words(input_words, len(chunk)))
-            self._words_evaluated += self.parallel.num_scheduled
+        width = self.word_width
+        for start in range(0, len(patterns), width):
+            chunk = patterns[start : start + width]
+            chunks.append(
+                self.parallel.evaluate_words(
+                    self.parallel.pack_block(chunk), len(chunk)
+                )
+            )
         return chunks
 
     def _simulate_ppsfp(
@@ -270,21 +311,19 @@ class FaultSimulator:
         since = self._snapshot()
         active = _unique(faults)
         result = FaultSimResult(total_faults=len(active))
-        for chunk_index, start in enumerate(range(0, len(patterns), WORD_WIDTH)):
+        width = self.word_width
+        for chunk_index, start in enumerate(range(0, len(patterns), width)):
             if drop and not active:
                 break
-            chunk = patterns[start : start + WORD_WIDTH]
+            chunk = patterns[start : start + width]
             n = len(chunk)
             mask = (1 << n) - 1
             if good_chunks is not None:
                 good = good_chunks[chunk_index]
             else:
-                input_words = [
-                    pack_patterns(chunk, position)
-                    for position in range(self.view.num_inputs)
-                ]
-                good = self.parallel.evaluate_words(input_words, n)
-                self._words_evaluated += self.parallel.num_scheduled
+                good = self.parallel.evaluate_words(
+                    self.parallel.pack_block(chunk), n
+                )
             survivors: List[StuckAtFault] = []
             for fault in active:
                 seeds = self._stuck_at_seeds(fault, good, mask)
@@ -320,7 +359,6 @@ class FaultSimulator:
                 break
             input_words = [int(bit) for bit in pattern]
             good = self.parallel.evaluate_words(input_words, 1)
-            self._words_evaluated += self.parallel.num_scheduled
             survivors: List[StuckAtFault] = []
             for fault in active:
                 if self._serial_detects(fault, input_words, good):
@@ -386,15 +424,12 @@ class FaultSimulator:
         fault dictionaries store and effect-cause diagnosis compares.
         """
         signature: Dict[int, Tuple[int, ...]] = {}
-        for start in range(0, len(patterns), WORD_WIDTH):
-            chunk = patterns[start : start + WORD_WIDTH]
+        width = self.word_width
+        for start in range(0, len(patterns), width):
+            chunk = patterns[start : start + width]
             n = len(chunk)
             mask = (1 << n) - 1
-            input_words = [
-                pack_patterns(chunk, position)
-                for position in range(self.view.num_inputs)
-            ]
-            good = self.parallel.evaluate_words(input_words, n)
+            good = self.parallel.evaluate_words(self.parallel.pack_block(chunk), n)
             seeds = self._stuck_at_seeds(fault, good, mask)
             faulty = self._propagate(seeds, good, mask) if seeds else {}
             per_output_diff: List[int] = []
@@ -450,22 +485,21 @@ class FaultSimulator:
         since = self._snapshot()
         active = _unique(faults)
         result = FaultSimResult(total_faults=len(active))
-        for start in range(0, len(pattern_pairs), WORD_WIDTH):
+        width = self.word_width
+        for start in range(0, len(pattern_pairs), width):
             if drop and not active:
                 break
-            chunk = pattern_pairs[start : start + WORD_WIDTH]
+            chunk = pattern_pairs[start : start + width]
             n = len(chunk)
             mask = (1 << n) - 1
-            launch_words = [
-                pack_patterns([pair[0] for pair in chunk], position)
-                for position in range(self.view.num_inputs)
-            ]
-            capture_words = [
-                pack_patterns([pair[1] for pair in chunk], position)
-                for position in range(self.view.num_inputs)
-            ]
-            good_launch = self.parallel.evaluate_words(launch_words, n)
-            good_capture = self.parallel.evaluate_words(capture_words, n)
+            # The pack buffer is reused, so each packed block is consumed by
+            # evaluate_words before the next pack overwrites it.
+            good_launch = self.parallel.evaluate_words(
+                self.parallel.pack_block([pair[0] for pair in chunk]), n
+            )
+            good_capture = self.parallel.evaluate_words(
+                self.parallel.pack_block([pair[1] for pair in chunk]), n
+            )
             survivors: List[TransitionFault] = []
             for fault in active:
                 site_launch = self._site_value(fault, good_launch)
@@ -524,17 +558,14 @@ class FaultSimulator:
         since = self._snapshot()
         active = _unique(faults)
         result = FaultSimResult(total_faults=len(active))
-        for start in range(0, len(patterns), WORD_WIDTH):
+        width = self.word_width
+        for start in range(0, len(patterns), width):
             if drop and not active:
                 break
-            chunk = patterns[start : start + WORD_WIDTH]
+            chunk = patterns[start : start + width]
             n = len(chunk)
             mask = (1 << n) - 1
-            input_words = [
-                pack_patterns(chunk, position)
-                for position in range(self.view.num_inputs)
-            ]
-            good = self.parallel.evaluate_words(input_words, n)
+            good = self.parallel.evaluate_words(self.parallel.pack_block(chunk), n)
             survivors: List[BridgingFault] = []
             for fault in active:
                 value_a, value_b = good[fault.net_a], good[fault.net_b]

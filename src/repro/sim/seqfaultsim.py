@@ -3,9 +3,9 @@
 Scan converts sequential test into combinational test, but AI chips still
 carry non-scan islands (and LBIST runs capture sequences), so a sequential
 grader matters.  The engine here is classic **parallel fault simulation**
-turned sideways from PPSFP: one machine word carries *63 faulty machines
-plus the good machine* (lane 0), all stepping through the same input
-sequence cycle by cycle.  Each lane's flop state evolves independently, so
+turned sideways from PPSFP: one machine word carries *word_width − 1 faulty
+machines plus the good machine* (lane 0, 63+1 lanes at the default width),
+all stepping through the same input sequence cycle by cycle.  Each lane's flop state evolves independently, so
 fault effects latched in cycle *t* propagate into cycle *t+1* — the part
 combinational engines cannot see.
 
@@ -20,17 +20,32 @@ from ..circuit.gates import GateType, evaluate_parallel
 from ..circuit.netlist import Netlist
 from ..faults.model import OUTPUT_PIN, StuckAtFault
 from .faultsim import FaultSimResult
+from .parallel import WORD_WIDTH
 
-#: Faulty machines per word (lane 0 is the fault-free reference).
-LANES_PER_WORD = 63
+#: Faulty machines per word (lane 0 is the fault-free reference).  Derived
+#: from the shared word-width constant so this engine and
+#: :mod:`repro.sim.parallel` cannot silently diverge.
+LANES_PER_WORD = WORD_WIDTH - 1
 
 
 class SequentialFaultSimulator:
-    """Cycle-accurate multi-lane fault simulation over one netlist."""
+    """Cycle-accurate multi-lane fault simulation over one netlist.
 
-    def __init__(self, netlist: Netlist):
+    ``word_width`` sets the machine word size: ``word_width - 1`` faulty
+    lanes batch per word alongside the good-machine reference in lane 0.
+    Results are identical for any width (lanes are independent).
+    """
+
+    def __init__(self, netlist: Netlist, word_width: int = WORD_WIDTH):
+        if word_width < 2:
+            raise ValueError(
+                f"word_width must fit the reference lane plus at least one "
+                f"faulty lane, got {word_width}"
+            )
         netlist.finalize()
         self.netlist = netlist
+        self.word_width = word_width
+        self.lanes_per_word = word_width - 1
         self._schedule = [
             (g.index, g.type, tuple(g.fanin))
             for g in (netlist.gates[i] for i in netlist.topo_order)
@@ -151,8 +166,8 @@ class SequentialFaultSimulator:
             raise ValueError("initial state length mismatch")
 
         while remaining:
-            batch = remaining[:LANES_PER_WORD]
-            remaining = remaining[LANES_PER_WORD:]
+            batch = remaining[: self.lanes_per_word]
+            remaining = remaining[self.lanes_per_word :]
             stem, pins = self._prepare_batch(batch)
             n_lanes = len(batch) + 1
             mask = (1 << n_lanes) - 1
