@@ -69,6 +69,10 @@ class AtpgResult:
     detected_deterministic: int = 0
     untestable: List[StuckAtFault] = field(default_factory=list)
     aborted: List[StuckAtFault] = field(default_factory=list)
+    #: Why PODEM gave up, per aborted fault: "backtracks" or "time".
+    #: Aborted faults are unresolved-within-budget, NOT proven untestable,
+    #: so they stay in the fault-coverage denominator.
+    abort_reasons: Dict[str, int] = field(default_factory=dict)
     consistency_errors: List[StuckAtFault] = field(default_factory=list)
     random_pattern_count: int = 0
     cpu_seconds: float = 0.0
@@ -103,6 +107,8 @@ class AtpgResult:
             "random_patterns": self.random_pattern_count,
             "cpu_s": round(self.cpu_seconds, 3),
         }
+        if self.abort_reasons.get("time"):
+            summary["aborted_timeout"] = self.abort_reasons["time"]
         if self.consistency_errors:
             summary["consistency_errors"] = len(self.consistency_errors)
         return summary
@@ -117,9 +123,12 @@ def run_atpg(
     fill_mode: str = "random",
     compact: bool = True,
     seed: int = 0,
-    backend: str = "ppsfp",
+    backend: object = "ppsfp",
     jobs: Optional[int] = None,
+    partitions: Optional[int] = None,
     word_width: int = WORD_WIDTH,
+    podem_time_budget_s: Optional[float] = None,
+    journal: Optional[str] = None,
 ) -> AtpgResult:
     """Run the full stuck-at ATPG flow on ``netlist``.
 
@@ -129,9 +138,17 @@ def run_atpg(
     Deterministic cubes are statically compacted when ``compact`` is set,
     then X-filled with ``fill_mode``.
 
-    ``backend``/``jobs`` pick the fault-simulation engine for the batch
-    passes (random phase, final verification, coverage top-off) — see
-    :mod:`repro.sim.dispatch`.  ``word_width`` sets the patterns packed per
+    ``backend``/``jobs``/``partitions`` pick the fault-simulation engine
+    for the batch passes (random phase, final verification, coverage
+    top-off) — a name from :data:`repro.sim.dispatch.BACKEND_NAMES` or a
+    ready backend instance.  ``journal`` names a campaign-journal file:
+    the batch passes then run under the supervised backend, each pass
+    checkpointing its completed shards so a killed campaign resumes
+    without re-grading them (each pattern set forms its own journal
+    section).  ``podem_time_budget_s`` caps each PODEM search's wall
+    clock, so one pathological fault aborts (counted separately in
+    :meth:`AtpgResult.summary` — aborted is not untestable) instead of
+    stalling the campaign.  ``word_width`` sets the patterns packed per
     simulation word (results are identical for every width).  The per-cube
     dynamic-dropping sims inside phase 2 always run single-process PPSFP:
     they grade one pattern at a time, where pool dispatch is pure overhead.
@@ -146,9 +163,25 @@ def run_atpg(
     remaining = list(faults)
     n_inputs = simulator.view.num_inputs
 
+    owned_journal = None
+    if journal is not None and isinstance(backend, str):
+        from ..sim.journal import CampaignJournal
+        from ..sim.supervisor import SupervisedPoolBackend
+
+        owned_journal = CampaignJournal(journal)
+        backend = SupervisedPoolBackend(
+            jobs=jobs, seed=seed, partitions=partitions, journal=owned_journal
+        )
+
     def batch_sim(patterns, fault_list, drop=True):
         return simulator.simulate(
-            patterns, fault_list, drop=drop, engine=backend, jobs=jobs, seed=seed
+            patterns,
+            fault_list,
+            drop=drop,
+            engine=backend,
+            jobs=jobs,
+            seed=seed,
+            partitions=partitions,
         )
 
     # ------------------------------------------------------------------
@@ -174,7 +207,11 @@ def run_atpg(
     # ------------------------------------------------------------------
     # Phase 2: deterministic PODEM with dynamic fault dropping.
     # ------------------------------------------------------------------
-    podem = Podem(netlist, backtrack_limit=backtrack_limit)
+    podem = Podem(
+        netlist,
+        backtrack_limit=backtrack_limit,
+        time_budget_s=podem_time_budget_s,
+    )
     cubes: List[List[int]] = []
     phase2_fills: List[List[int]] = []
     queue = list(remaining)
@@ -189,6 +226,8 @@ def run_atpg(
             continue
         if outcome.status == "aborted":
             result.aborted.append(fault)
+            reason = outcome.reason or "backtracks"
+            result.abort_reasons[reason] = result.abort_reasons.get(reason, 0) + 1
             undetected.discard(fault)
             continue
         cube = outcome.cube
@@ -239,6 +278,8 @@ def run_atpg(
                 result.patterns.append(fill)
                 missing = [f for f in missing if f not in topoff.detected]
 
+    if owned_journal is not None:
+        owned_journal.close()
     result.cpu_seconds = time.perf_counter() - start
     return result
 

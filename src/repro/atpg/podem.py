@@ -21,6 +21,7 @@ X positions are don't-cares.  Compaction and compression exploit those X's;
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -48,11 +49,18 @@ _RAIL_X = 2  # rail encoding of "unknown" inside a packed D-value
 
 @dataclass
 class PodemResult:
-    """Outcome of one PODEM run for one fault."""
+    """Outcome of one PODEM run for one fault.
+
+    ``reason`` distinguishes *why* an aborted search gave up:
+    ``"backtracks"`` (the classic decision-budget abort) or ``"time"``
+    (the per-fault wall-clock budget) — an aborted fault is *not*
+    untestable, just unresolved within budget.
+    """
 
     status: str  # "detected" | "untestable" | "aborted"
     cube: Optional[List[int]] = None  # 0/1/X per view input, when detected
     backtracks: int = 0
+    reason: Optional[str] = None  # set when status == "aborted"
 
     @property
     def detected(self) -> bool:
@@ -67,11 +75,18 @@ class Podem:
         netlist: Netlist,
         backtrack_limit: int = 64,
         measures: Optional[Testability] = None,
+        time_budget_s: Optional[float] = None,
     ):
         netlist.finalize()
         self.netlist = netlist
         self.view = CombinationalView(netlist)
         self.backtrack_limit = backtrack_limit
+        if time_budget_s is not None and time_budget_s < 0:
+            raise ValueError(f"time_budget_s must be >= 0, got {time_budget_s}")
+        #: Per-fault wall-clock budget; one pathological fault can spend
+        #: minutes inside the backtrack limit on deep reconvergent cones,
+        #: so campaigns cap the *time* too (None = unlimited).
+        self.time_budget_s = time_budget_s
         self.measures = measures or compute_testability(netlist)
         self._input_position: Dict[int, int] = {
             gate: position for position, gate in enumerate(self.view.input_gates)
@@ -385,11 +400,20 @@ class Podem:
         values = self._initial_values(fault)
         decision_stack: List[Tuple[int, int, bool]] = []  # (pos, value, flipped)
         backtracks = 0
+        deadline = (
+            None
+            if self.time_budget_s is None
+            else time.perf_counter() + self.time_budget_s
+        )
 
         while True:
             if self._detected(fault, values):
                 return PodemResult(
                     status="detected", cube=list(assignment), backtracks=backtracks
+                )
+            if deadline is not None and time.perf_counter() > deadline:
+                return PodemResult(
+                    status="aborted", backtracks=backtracks, reason="time"
                 )
             objective = self._objective(fault, values)
             step = (
@@ -406,7 +430,9 @@ class Podem:
             # Dead end: backtrack.
             backtracks += 1
             if backtracks > self.backtrack_limit:
-                return PodemResult(status="aborted", backtracks=backtracks)
+                return PodemResult(
+                    status="aborted", backtracks=backtracks, reason="backtracks"
+                )
             while decision_stack:
                 position, value, flipped = decision_stack.pop()
                 if not flipped:

@@ -11,6 +11,13 @@ Thin orchestration over the library for the common one-shot jobs:
 ``mbist``      print the March coverage matrix
 ``plan``       print the chip-level DFT plan for an accelerator
 =============  =====================================================
+
+Exit codes: ``0`` success; ``2`` bad arguments (argparse) or campaign
+mismatch; ``3`` a supervised fault-sim campaign completed *partially*
+(unrecoverable partitions — reported coverage is a lower bound);
+``130`` interrupted (Ctrl-C: workers are terminated and the campaign
+journal is flushed before exiting, so ``--resume`` picks up where the
+run died).
 """
 
 from __future__ import annotations
@@ -29,10 +36,19 @@ from .circuit.verilog import load_verilog
 from .dft.planner import build_plan
 from .faults import collapse_faults, full_fault_list
 from .scan.patfile import format_patterns, load_patterns
+from .sim.chaos import ChaosPlan
 from .sim.dispatch import BACKEND_NAMES
 from .sim.faultsim import FaultSimulator
+from .sim.journal import CampaignJournal, JournalMismatchError
 from .sim.parallel import WORD_WIDTH, WORD_WIDTHS
+from .sim.supervisor import SupervisedPoolBackend, SupervisorConfig
 from .sim.view import CombinationalView
+
+#: Campaign finished but some partitions were unrecoverable: the printed
+#: coverage is a lower bound, not the final word.
+EXIT_PARTIAL = 3
+#: Interrupted by Ctrl-C after clean teardown (POSIX convention: 128+SIGINT).
+EXIT_INTERRUPTED = 130
 
 
 def _load_circuit(spec: str) -> Netlist:
@@ -68,7 +84,10 @@ def _cmd_atpg(args) -> int:
         backtrack_limit=args.backtrack_limit,
         backend=args.backend,
         jobs=args.jobs,
+        partitions=args.partitions,
         word_width=args.word_width,
+        podem_time_budget_s=args.podem_budget,
+        journal=args.resume,
     )
     row = atpg_table_row(netlist, result)
     for key, value in row.items():
@@ -82,17 +101,66 @@ def _cmd_atpg(args) -> int:
     return 0
 
 
+def _supervised_backend(args) -> Optional[SupervisedPoolBackend]:
+    """Build a supervised backend when the flags call for one.
+
+    ``--resume``, ``--timeout``, ``--retries`` and ``--chaos`` all imply
+    supervision; asking for them with an unsupervised ``--backend`` is
+    upgraded (with a note) rather than silently ignored.
+    """
+    implied = (
+        args.resume is not None
+        or args.timeout is not None
+        or args.retries is not None
+        or bool(args.chaos)
+    )
+    if args.backend != "supervised" and not implied:
+        return None
+    if args.backend not in ("supervised", "pool") and implied:
+        print(f"(--backend {args.backend} upgraded to supervised)")
+    config = SupervisorConfig(timeout_s=args.timeout)
+    if args.retries is not None:
+        config.max_retries = args.retries
+    journal = (
+        CampaignJournal(args.resume, strict=True) if args.resume is not None else None
+    )
+    chaos = ChaosPlan.parse(args.chaos) if args.chaos else None
+    return SupervisedPoolBackend(
+        jobs=args.jobs,
+        seed=args.seed,
+        partitions=args.partitions,
+        config=config,
+        chaos=chaos,
+        journal=journal,
+    )
+
+
 def _cmd_faultsim(args) -> int:
     netlist = _load_circuit(args.circuit)
     pattern_file = load_patterns(args.patterns)
     faults, _ = collapse_faults(netlist, full_fault_list(netlist))
     simulator = FaultSimulator(netlist, word_width=args.word_width)
+    expected = simulator.view.num_inputs
+    for position, pattern in enumerate(pattern_file.patterns):
+        if len(pattern) != expected:
+            raise ValueError(
+                f"pattern {position} in {args.patterns!r} has {len(pattern)} "
+                f"bits but {netlist.name} has {expected} inputs — wrong "
+                f"pattern file for this circuit?"
+            )
     filled = [
         [0 if v not in (0, 1) else v for v in pattern]
         for pattern in pattern_file.patterns
     ]
+    engine = _supervised_backend(args) or args.backend
     result = simulator.simulate(
-        filled, faults, drop=True, engine=args.backend, jobs=args.jobs
+        filled,
+        faults,
+        drop=True,
+        engine=engine,
+        jobs=args.jobs,
+        seed=args.seed,
+        partitions=args.partitions,
     )
     print(
         f"{len(result.detected)}/{len(faults)} faults detected "
@@ -109,12 +177,39 @@ def _cmd_faultsim(args) -> int:
             f"{stats.get('wall_time_s', 0.0):.3f}s"
         )
         if "jobs" in stats:
-            line += (
-                f", {stats['jobs']} jobs, "
-                f"{len(stats.get('partitions', []))} partitions, "
-                f"imbalance {stats.get('load_imbalance')}"
-            )
+            n_partitions = stats.get("n_partitions", len(stats.get("partitions", [])))
+            line += f", {stats['jobs']} jobs, {n_partitions} partitions"
+            if "load_imbalance" in stats:
+                line += f", imbalance {stats['load_imbalance']}"
         print(line)
+        recovery = {
+            key: stats[key]
+            for key in (
+                "retries", "worker_crashes", "timeouts",
+                "invalid_results", "inline_fallbacks",
+            )
+            if stats.get(key)
+        }
+        if recovery:
+            print(
+                "recovered: "
+                + ", ".join(f"{v} {k.replace('_', ' ')}" for k, v in recovery.items())
+            )
+        if stats.get("journal_skipped"):
+            print(
+                f"resumed from journal: {stats['journal_skipped']}/"
+                f"{stats.get('n_partitions', '?')} partitions skipped"
+            )
+        failed = stats.get("failed_partitions")
+        if failed:
+            indices = sorted(entry["partition"] for entry in failed)
+            print(
+                f"WARNING: {len(failed)} partition(s) unrecoverable "
+                f"{indices}; coverage above is a LOWER BOUND "
+                f"({stats['coverage_lower_bound']:.2%})",
+                file=sys.stderr,
+            )
+            return EXIT_PARTIAL
     return 0
 
 
@@ -151,6 +246,20 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
 def _add_word_width_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--word-width",
@@ -174,11 +283,59 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_int,
         default=None,
-        help="worker processes for --backend pool (default: CPU count)",
+        help="worker processes for pool/supervised backends (default: CPU count)",
+    )
+    parser.add_argument(
+        "--partitions",
+        type=_positive_int,
+        default=None,
+        help=(
+            "fault partitions for pool/supervised backends (default: sized "
+            "from the fault universe; independent of --jobs, so results "
+            "never depend on worker count)"
+        ),
     )
     _add_word_width_argument(parser)
+
+
+def _add_supervision_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--seed",
+        type=_nonnegative_int,
+        default=0,
+        help="deterministic fault-partitioning seed (default: 0)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-partition wall-clock deadline (supervised backend)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=_nonnegative_int,
+        default=None,
+        help="pool retries per failing partition before the inline "
+        "fallback (supervised backend; default: 2)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="JOURNAL",
+        default=None,
+        help="campaign journal (JSONL): skip partitions it already holds, "
+        "checkpoint new ones as they complete",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="append",
+        default=None,
+        metavar="PART:MODE[,MODE...]",
+        help="inject deterministic failures for testing, e.g. "
+        "'2:crash,crash' or '0:hang' (repeatable; supervised backend)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -197,8 +354,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     atpg = commands.add_parser("atpg", help="run stuck-at ATPG")
     atpg.add_argument("circuit")
-    atpg.add_argument("--seed", type=int, default=0)
-    atpg.add_argument("--backtrack-limit", type=int, default=64)
+    atpg.add_argument("--seed", type=_nonnegative_int, default=0)
+    atpg.add_argument("--backtrack-limit", type=_positive_int, default=64)
+    atpg.add_argument(
+        "--podem-budget",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-fault PODEM wall-clock budget; over-budget faults are "
+        "counted as aborted (not untestable) instead of stalling the run",
+    )
+    atpg.add_argument(
+        "--resume",
+        metavar="JOURNAL",
+        default=None,
+        help="campaign journal for the batch fault-sim passes (random "
+        "phase, verify, top-off) — implies the supervised backend",
+    )
     atpg.add_argument("--output", "-o", help="write patterns to file")
     _add_backend_arguments(atpg)
     atpg.set_defaults(handler=_cmd_atpg)
@@ -207,6 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
     faultsim.add_argument("circuit")
     faultsim.add_argument("patterns", help="pattern file from `repro atpg -o`")
     _add_backend_arguments(faultsim)
+    _add_supervision_arguments(faultsim)
     faultsim.set_defaults(handler=_cmd_faultsim)
 
     lbist = commands.add_parser("lbist", help="run STUMPS logic BIST")
@@ -229,7 +402,21 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except KeyboardInterrupt:
+        # The supervisor has already reaped its workers and flushed the
+        # journal on the way up; exit 130 instead of a multiprocessing
+        # traceback so shells and schedulers see a clean interrupt.
+        print(
+            "interrupted: workers terminated, journal flushed — "
+            "re-run with --resume to continue",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+    except (JournalMismatchError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

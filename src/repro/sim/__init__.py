@@ -1,5 +1,6 @@
 """Simulation engines: 4-valued event-driven, bit-parallel, fault simulation."""
 
+from .chaos import ChaosPlan
 from .dispatch import (
     BACKEND_NAMES,
     FaultSimBackend,
@@ -9,8 +10,11 @@ from .dispatch import (
     get_backend,
     merge_results,
     partition_faults,
+    validate_pool_args,
 )
 from .faultsim import FaultSimResult, FaultSimulator
+from .journal import CampaignJournal, CampaignKey, JournalMismatchError
+from .supervisor import SupervisedPoolBackend, SupervisorConfig
 from .goodcache import DEFAULT_CACHE, GoodMachineCache
 from .logicsim import LogicSimulator
 from .seqfaultsim import LANES_PER_WORD, SequentialFaultSimulator
@@ -32,10 +36,17 @@ __all__ = [
     "SerialBackend",
     "PpsfpBackend",
     "PoolBackend",
+    "SupervisedPoolBackend",
+    "SupervisorConfig",
+    "ChaosPlan",
+    "CampaignJournal",
+    "CampaignKey",
+    "JournalMismatchError",
     "BACKEND_NAMES",
     "get_backend",
     "merge_results",
     "partition_faults",
+    "validate_pool_args",
     "SequentialFaultSimulator",
     "LANES_PER_WORD",
     "CombinationalView",

@@ -35,8 +35,29 @@ from ..faults.model import StuckAtFault
 from .faultsim import FaultSimResult, FaultSimulator, _unique
 
 #: Backend names accepted by ``FaultSimulator.simulate(engine=...)`` and the
-#: ``--backend`` CLI flag.
-BACKEND_NAMES = ("serial", "ppsfp", "pool")
+#: ``--backend`` CLI flag.  ``supervised`` is the fault-tolerant pool
+#: (see :mod:`repro.sim.supervisor`).
+BACKEND_NAMES = ("serial", "ppsfp", "pool", "supervised")
+
+
+def validate_pool_args(
+    jobs: Optional[int] = None,
+    seed: int = 0,
+    partitions: Optional[int] = None,
+) -> None:
+    """Reject nonsensical pool arguments with actionable messages.
+
+    ``jobs`` and ``partitions`` must be positive when given (``None``
+    means "pick automatically"); ``seed`` must be a non-negative int so
+    the partitioning shuffle is reproducible across documentation and
+    journals.
+    """
+    if jobs is not None and (not isinstance(jobs, int) or jobs < 1):
+        raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
+    if partitions is not None and (not isinstance(partitions, int) or partitions < 1):
+        raise ValueError(f"partitions must be a positive integer, got {partitions!r}")
+    if not isinstance(seed, int) or seed < 0:
+        raise ValueError(f"seed must be a non-negative integer, got {seed!r}")
 
 #: Target faults per pool partition.  The partition count derives from the
 #: universe size alone (never from the worker count), so the shard
@@ -200,6 +221,7 @@ class PoolBackend(FaultSimBackend):
         seed: int = 0,
         partitions: Optional[int] = None,
     ):
+        validate_pool_args(jobs=jobs, seed=seed, partitions=partitions)
         self.jobs = jobs
         self.seed = seed
         self.partitions = partitions
@@ -317,13 +339,33 @@ _BACKENDS = {
 
 
 def get_backend(
-    name: str, jobs: Optional[int] = None, seed: int = 0
+    name: str,
+    jobs: Optional[int] = None,
+    seed: int = 0,
+    partitions: Optional[int] = None,
+    **supervised_kwargs,
 ) -> FaultSimBackend:
-    """Instantiate a backend by name (``serial``, ``ppsfp``, ``pool``)."""
-    if name not in _BACKENDS:
+    """Instantiate a backend by name.
+
+    ``jobs``/``seed``/``partitions`` configure the sharded backends
+    (``pool`` and ``supervised``) and are validated up front.  Extra
+    keyword arguments (``config``, ``chaos``, ``journal``) are forwarded
+    to :class:`repro.sim.supervisor.SupervisedPoolBackend`.
+    """
+    if name not in BACKEND_NAMES:
         raise ValueError(
             f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"
         )
+    if name == "supervised":
+        from .supervisor import SupervisedPoolBackend
+
+        return SupervisedPoolBackend(
+            jobs=jobs, seed=seed, partitions=partitions, **supervised_kwargs
+        )
+    if supervised_kwargs:
+        raise ValueError(
+            f"{sorted(supervised_kwargs)} only apply to the supervised backend"
+        )
     if name == "pool":
-        return PoolBackend(jobs=jobs, seed=seed)
+        return PoolBackend(jobs=jobs, seed=seed, partitions=partitions)
     return _BACKENDS[name]()

@@ -254,9 +254,10 @@ class FaultSimulator:
         patterns: Sequence[Sequence[int]],
         faults: Iterable[StuckAtFault],
         drop: bool = True,
-        engine: str = "ppsfp",
+        engine: object = "ppsfp",
         jobs: Optional[int] = None,
         seed: int = 0,
+        partitions: Optional[int] = None,
     ) -> FaultSimResult:
         """Run stuck-at fault simulation.
 
@@ -264,11 +265,17 @@ class FaultSimulator:
         first detection; otherwise every fault sees every pattern (useful
         for building diagnosis dictionaries and detection profiles).
 
-        ``engine`` selects the backend: ``"serial"``, ``"ppsfp"``, or
-        ``"pool"`` (multiprocess PPSFP; ``jobs`` workers, ``seed`` controls
-        the deterministic fault partitioning — results are identical for
-        any worker count).
+        ``engine`` selects the backend by name — ``"serial"``,
+        ``"ppsfp"``, ``"pool"`` (multiprocess PPSFP), or ``"supervised"``
+        (fault-tolerant multiprocess, see :mod:`repro.sim.supervisor`) —
+        or is a ready :class:`repro.sim.dispatch.FaultSimBackend`
+        instance, which lets callers attach journals, timeouts, or chaos
+        plans.  ``jobs`` sizes the worker pool; ``seed`` and
+        ``partitions`` control the deterministic fault sharding — results
+        are identical for any worker count.
         """
+        if not isinstance(engine, str):
+            return engine.run(self, patterns, faults, drop=drop)
         if engine == "ppsfp":
             return self._simulate_ppsfp(patterns, faults, drop)
         if engine == "serial":
@@ -276,9 +283,15 @@ class FaultSimulator:
         if engine == "pool":
             from .dispatch import PoolBackend
 
-            return PoolBackend(jobs=jobs, seed=seed).run(
+            return PoolBackend(jobs=jobs, seed=seed, partitions=partitions).run(
                 self, patterns, faults, drop=drop
             )
+        if engine == "supervised":
+            from .supervisor import SupervisedPoolBackend
+
+            return SupervisedPoolBackend(
+                jobs=jobs, seed=seed, partitions=partitions
+            ).run(self, patterns, faults, drop=drop)
         raise ValueError(f"unknown engine {engine!r}")
 
     def good_response(

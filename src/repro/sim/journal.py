@@ -1,0 +1,222 @@
+"""Campaign journal: JSONL checkpoint/resume for fault-sim campaigns.
+
+An accelerator-scale fault-simulation campaign (Sadi & Guin's yield-loss
+setting) runs for hours; losing it to one OOM kill and restarting from
+zero is exactly the fragility the tutorial warns about in the chips
+themselves.  The journal makes completed work durable: every graded
+partition is appended — and flushed — as one JSON line, so a killed
+campaign resumes by replaying the file and re-running only the shards
+that never finished.  Because partitioning is deterministic (seeded
+shuffle, partition count independent of worker count), the resumed merge
+is bit-identical to an uninterrupted run.
+
+A journal file is a sequence of *sections*.  Each section starts with a
+``header`` line carrying a :class:`CampaignKey` — the netlist's
+structural signature, digests of the pattern set and fault universe, the
+partition seed and count, and the drop flag — followed by ``partition``
+lines holding serialized per-shard results.  Results are only valid for
+an identical campaign, so resume matches the *whole* key; several
+campaigns (e.g. the random-phase batches and the verify pass of one
+``run_atpg`` flow) can safely share one file, each finding only its own
+sections.
+
+Stuck-at faults serialize as ``[gate, pin, value]`` triples — the frozen
+dataclass round-trips losslessly through
+:func:`repro.faults.model.StuckAtFault`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..faults.model import StuckAtFault
+from .faultsim import FaultSimResult
+
+JOURNAL_VERSION = 1
+
+#: Per-partition stats fields preserved through a journal round-trip.
+_KEPT_STATS = ("events_propagated", "words_evaluated", "wall_time_s")
+
+
+class JournalMismatchError(ValueError):
+    """A strict journal holds no section matching the requested campaign."""
+
+
+def pattern_digest(patterns: Sequence[Sequence[int]]) -> str:
+    """Stable digest of a pattern set (order- and value-sensitive)."""
+    hasher = hashlib.sha256()
+    hasher.update(f"{len(patterns)}:".encode())
+    for pattern in patterns:
+        hasher.update(bytes(int(bit) & 1 for bit in pattern))
+        hasher.update(b";")
+    return hasher.hexdigest()[:24]
+
+
+def fault_digest(faults: Iterable[StuckAtFault]) -> str:
+    """Stable digest of a fault universe (order-insensitive)."""
+    hasher = hashlib.sha256()
+    for gate, pin, value in sorted((f.gate, f.pin, f.value) for f in faults):
+        hasher.update(f"{gate},{pin},{value};".encode())
+    return hasher.hexdigest()[:24]
+
+
+@dataclass(frozen=True)
+class CampaignKey:
+    """Identity of one shardable campaign; journal entries bind to it."""
+
+    signature: str
+    patterns: str
+    faults: str
+    seed: int
+    partitions: int
+    drop: bool
+
+    @classmethod
+    def build(
+        cls,
+        netlist,
+        patterns: Sequence[Sequence[int]],
+        universe: Iterable[StuckAtFault],
+        seed: int,
+        partitions: int,
+        drop: bool,
+    ) -> "CampaignKey":
+        return cls(
+            signature=netlist.structural_signature(),
+            patterns=pattern_digest(patterns),
+            faults=fault_digest(universe),
+            seed=seed,
+            partitions=partitions,
+            drop=drop,
+        )
+
+
+def _serialize_partial(index: int, partial: FaultSimResult) -> Dict[str, object]:
+    return {
+        "kind": "partition",
+        "index": index,
+        "total": partial.total_faults,
+        "patterns_simulated": partial.patterns_simulated,
+        "detected": [
+            [f.gate, f.pin, f.value, first]
+            for f, first in sorted(
+                partial.detected.items(), key=lambda kv: (kv[0].gate, kv[0].pin, kv[0].value)
+            )
+        ],
+        "undetected": [[f.gate, f.pin, f.value] for f in partial.undetected],
+        "stats": {
+            k: partial.stats[k] for k in _KEPT_STATS if k in partial.stats
+        },
+    }
+
+
+def _deserialize_partial(line: Dict[str, object]) -> FaultSimResult:
+    partial = FaultSimResult(total_faults=int(line["total"]))
+    for gate, pin, value, first in line["detected"]:
+        partial.detected[StuckAtFault(gate, pin, value)] = int(first)
+    partial.undetected = [
+        StuckAtFault(gate, pin, value) for gate, pin, value in line["undetected"]
+    ]
+    partial.patterns_simulated = int(line["patterns_simulated"])
+    partial.stats.update(line.get("stats", {}))
+    partial.stats["journaled"] = True
+    return partial
+
+
+class CampaignJournal:
+    """Append-only JSONL log of completed campaign partitions.
+
+    ``strict=True`` makes :meth:`begin` raise :class:`JournalMismatchError`
+    when the file already holds sections but none match the requested key
+    — the right behavior for a CLI ``--resume`` pointed at the wrong
+    circuit or pattern file.  The default (non-strict) simply starts a new
+    section, which is what multi-campaign flows like ``run_atpg`` need.
+    """
+
+    def __init__(self, path: str, strict: bool = False):
+        self.path = str(path)
+        self.strict = strict
+        self._handle = None
+        self._sections = 0
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def _read_lines(self) -> List[Dict[str, object]]:
+        if not os.path.exists(self.path):
+            return []
+        lines: List[Dict[str, object]] = []
+        with open(self.path, "r") as handle:
+            for raw in handle:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    lines.append(json.loads(raw))
+                except json.JSONDecodeError:
+                    # A kill mid-write can leave one torn trailing line;
+                    # everything before it is intact and usable.
+                    break
+        return lines
+
+    def completed_for(self, key: CampaignKey) -> Dict[int, FaultSimResult]:
+        """All journaled partition results belonging to ``key``."""
+        completed: Dict[int, FaultSimResult] = {}
+        key_dict = asdict(key)
+        in_matching_section = False
+        for line in self._read_lines():
+            kind = line.get("kind")
+            if kind == "header":
+                self._sections += 1
+                in_matching_section = line.get("key") == key_dict
+            elif kind == "partition" and in_matching_section:
+                completed[int(line["index"])] = _deserialize_partial(line)
+        return completed
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def begin(self, key: CampaignKey) -> Dict[int, FaultSimResult]:
+        """Open a new section for ``key``; return prior completed shards."""
+        self._sections = 0
+        completed = self.completed_for(key)
+        if self.strict and self._sections and not completed:
+            raise JournalMismatchError(
+                f"journal {self.path!r} holds {self._sections} section(s) but "
+                f"none match this campaign (circuit, patterns, fault universe, "
+                f"seed, and partition count must all be identical)"
+            )
+        self._append({"kind": "header", "version": JOURNAL_VERSION, "key": asdict(key)})
+        return completed
+
+    def record(self, index: int, partial: FaultSimResult) -> None:
+        """Durably append one completed partition result."""
+        self._append(_serialize_partial(index, partial))
+
+    def _append(self, line: Dict[str, object]) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a")
+        self._handle.write(json.dumps(line, separators=(",", ":")) + "\n")
+        self._handle.flush()
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

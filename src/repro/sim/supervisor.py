@@ -1,0 +1,513 @@
+"""Supervised multiprocess fault simulation: crash recovery, timeouts,
+poisoned-partition fallback, and checkpoint/resume.
+
+:class:`repro.sim.dispatch.PoolBackend` is fast but brittle: one worker
+OOM-killed, crashed, or wedged takes the whole campaign with it, and an
+hours-long accelerator-scale run restarts from zero.  The tutorial's own
+thesis — AI chips must keep working when parts fail — applies to the
+test infrastructure too.  :class:`SupervisedPoolBackend` runs the same
+deterministic shards (same seeded partitioning, same min-merge, so a
+clean supervised run is bit-identical to ``pool`` and ``ppsfp``) under a
+supervisor that assumes workers *will* fail:
+
+* **one process per partition** — failure isolation is the unit of work;
+  a dead or wedged worker loses exactly one shard, never the pool;
+* **per-partition wall-clock deadline** — a hung worker is killed at
+  ``timeout_s`` and its shard requeued;
+* **bounded retry with exponential backoff** — crashes, kills, injected
+  exceptions and validation failures requeue the shard up to
+  ``max_retries`` times;
+* **result validation** — every partial result must cover exactly its
+  shard with in-range first-detection indices, so a worker returning
+  structurally corrupt data is treated as a failure, not merged;
+* **poisoned-partition fallback** — a shard that exhausts its pool
+  retries is re-run inline in the parent (no fork, no pipe — the
+  failure domain shrinks to the kernel itself);
+* **graceful degradation** — a shard that fails even inline is recorded
+  in ``stats["failed_partitions"]`` and its faults stay conservatively
+  undetected: the merged result is a *coverage lower bound*
+  (``stats["coverage_lower_bound"]``) instead of a traceback;
+* **journaling** — with a :class:`repro.sim.journal.CampaignJournal`
+  attached, every completed shard is durably appended, and a later run
+  of the same campaign skips journaled shards entirely
+  (``stats["journal_skipped"]``) — a killed campaign resumes
+  bit-identically.
+
+The failure modes are exercised deterministically by
+:mod:`repro.sim.chaos`; ``tests/test_supervisor.py`` asserts that the
+recovered merge is bit-identical to single-process PPSFP under every
+injected schedule.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..faults.model import StuckAtFault
+from .chaos import ChaosPlan
+from .dispatch import (
+    FaultSimBackend,
+    default_partition_count,
+    merge_results,
+    partition_faults,
+    validate_pool_args,
+)
+from .faultsim import FaultSimResult, FaultSimulator, _unique
+from .journal import CampaignJournal, CampaignKey
+
+
+@dataclass
+class SupervisorConfig:
+    """Tunables for the supervised pool.
+
+    ``timeout_s`` is the per-partition wall-clock deadline (``None``
+    disables hang detection — crashes are still recovered).
+    ``max_retries`` counts *pool* retries per shard; after those, the
+    shard runs inline in the parent when ``inline_fallback`` is set.
+    ``backoff_s`` seeds exponential backoff between retries of one shard
+    (attempt ``k`` waits ``backoff_s * 2**(k-1)``).
+    """
+
+    timeout_s: Optional[float] = None
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    inline_fallback: bool = True
+    poll_interval_s: float = 0.01
+
+    def validate(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.poll_interval_s <= 0:
+            raise ValueError(
+                f"poll_interval_s must be positive, got {self.poll_interval_s}"
+            )
+
+
+def validate_partial(
+    partial: FaultSimResult,
+    shard: Sequence[StuckAtFault],
+    n_patterns: int,
+) -> Optional[str]:
+    """Structural validity of a worker's partial result, or a reason.
+
+    The contract: the partial grades exactly its shard — every shard
+    fault is either detected (with a first-detection index inside the
+    pattern set) or listed undetected, nothing extra, nothing missing.
+    A crashed-and-restarted or byte-corrupted worker cannot satisfy this
+    by accident, so validation turns silent corruption into a retry.
+    """
+    shard_set = set(shard)
+    detected = set(partial.detected)
+    undetected = set(partial.undetected)
+    if partial.total_faults != len(shard_set):
+        return f"total_faults {partial.total_faults} != shard size {len(shard_set)}"
+    if not detected <= shard_set:
+        return "detected faults outside the shard"
+    if not undetected <= shard_set:
+        return "undetected faults outside the shard"
+    if detected & undetected:
+        return "faults both detected and undetected"
+    if detected | undetected != shard_set:
+        return "shard universe not fully accounted for"
+    for index in partial.detected.values():
+        if not isinstance(index, int) or not 0 <= index < max(1, n_patterns):
+            return f"first-detection index {index!r} out of range"
+    return None
+
+
+def _supervised_worker(conn, index, attempt, shard, drop, netlist, patterns,
+                       good_chunks, word_width, chaos) -> None:
+    """Worker entry: grade one shard, send (status, payload), exit.
+
+    Runs in its own process; under the ``fork`` start method the netlist,
+    patterns and shared good-machine response arrive by copy-on-write,
+    under ``spawn`` they are pickled through the args.  Any exception —
+    including injected chaos — is reported as an ``error`` message so the
+    supervisor need not wait for a timeout to learn about it.
+    """
+    status, payload = "error", "worker exited without result"
+    try:
+        if chaos is not None:
+            chaos.execute_pre(index, attempt)
+        simulator = FaultSimulator(netlist, word_width=word_width, cache=None)
+        partial = simulator._simulate_ppsfp(
+            patterns, shard, drop, good_chunks=good_chunks
+        )
+        if chaos is not None:
+            partial = chaos.corrupt_result(index, attempt, partial, len(patterns))
+        status, payload = "ok", partial
+    except BaseException as exc:  # noqa: BLE001 - report, don't die silently
+        status, payload = "error", f"{type(exc).__name__}: {exc}"
+    try:
+        conn.send((status, payload))
+    except Exception:
+        pass  # parent already gone or pipe broken; exit code tells the story
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Slot:
+    """One in-flight worker process."""
+
+    index: int
+    attempt: int
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    deadline: Optional[float]
+
+
+class SupervisedPoolBackend(FaultSimBackend):
+    """Fault-tolerant multiprocess PPSFP over deterministic partitions.
+
+    Drop-in alternative to :class:`~repro.sim.dispatch.PoolBackend`
+    (same ``jobs``/``seed``/``partitions`` semantics, bit-identical
+    results on a clean run) that survives worker crashes, hangs and
+    corrupt results, degrades gracefully instead of dying, and resumes
+    from a campaign journal.
+    """
+
+    name = "supervised"
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        seed: int = 0,
+        partitions: Optional[int] = None,
+        config: Optional[SupervisorConfig] = None,
+        chaos: Optional[ChaosPlan] = None,
+        journal: Optional[CampaignJournal] = None,
+    ):
+        validate_pool_args(jobs=jobs, seed=seed, partitions=partitions)
+        self.jobs = jobs
+        self.seed = seed
+        self.partitions = partitions
+        self.config = config or SupervisorConfig()
+        self.config.validate()
+        self.chaos = chaos
+        self.journal = journal
+
+    # ------------------------------------------------------------------
+    # Main entry
+    # ------------------------------------------------------------------
+
+    def run(self, simulator, patterns, faults, drop=True):
+        start_time = time.perf_counter()
+        universe = _unique(faults)
+        jobs = self.jobs if self.jobs is not None else (os.cpu_count() or 1)
+        jobs = max(1, jobs)
+        n_partitions = (
+            self.partitions
+            if self.partitions is not None
+            else default_partition_count(len(universe))
+        )
+        shards = partition_faults(universe, n_partitions, self.seed)
+
+        good_start = time.perf_counter()
+        parallel = simulator.parallel
+        passes0 = parallel.evaluations
+        good_chunks = simulator.good_response(patterns)
+        good_words = (parallel.evaluations - passes0) * parallel.num_scheduled
+        good_seconds = time.perf_counter() - good_start
+
+        counters = {
+            "retries": 0,
+            "worker_crashes": 0,
+            "timeouts": 0,
+            "invalid_results": 0,
+            "inline_fallbacks": 0,
+        }
+        sources: Dict[int, str] = {}
+        attempts_used: Dict[int, int] = {}
+        results: Dict[int, FaultSimResult] = {}
+        failed: List[Dict[str, object]] = []
+
+        journal_skipped = 0
+        if self.journal is not None and shards:
+            key = CampaignKey.build(
+                simulator.netlist, patterns, universe, self.seed, len(shards), drop
+            )
+            for index, partial in self.journal.begin(key).items():
+                if index >= len(shards):
+                    continue
+                if validate_partial(partial, shards[index], len(patterns)) is None:
+                    results[index] = partial
+                    sources[index] = "journal"
+                    journal_skipped += 1
+
+        pending = [
+            (index, 0, 0.0)  # (partition, attempt, eligible-at monotonic time)
+            for index in range(len(shards))
+            if index not in results
+        ]
+        if pending:
+            self._supervise(
+                simulator, patterns, good_chunks, shards, drop, jobs, pending,
+                results, failed, counters, sources, attempts_used,
+            )
+
+        result = merge_results(
+            [results[i] for i in sorted(results)], universe, len(patterns), drop
+        )
+        self._fill_stats(
+            result, results, failed, shards, jobs, good_seconds, good_words,
+            start_time, counters, sources, attempts_used, journal_skipped,
+            simulator,
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Supervision loop
+    # ------------------------------------------------------------------
+
+    def _supervise(
+        self, simulator, patterns, good_chunks, shards, drop, jobs, pending,
+        results, failed, counters, sources, attempts_used,
+    ) -> None:
+        config = self.config
+        running: List[_Slot] = []
+        n_patterns = len(patterns)
+
+        def record(index: int, partial: FaultSimResult, source: str, attempt: int):
+            results[index] = partial
+            sources[index] = source
+            attempts_used[index] = attempt + 1
+            if self.journal is not None:
+                self.journal.record(index, partial)
+
+        def fail(slot: _Slot, reason: str) -> None:
+            attempt = slot.attempt
+            if attempt < config.max_retries:
+                counters["retries"] += 1
+                eligible = time.monotonic() + config.backoff_s * (2 ** attempt)
+                pending.append((slot.index, attempt + 1, eligible))
+                return
+            self._finish_poisoned(
+                simulator, patterns, good_chunks, shards, drop, slot.index,
+                attempt, reason, record, failed, counters,
+            )
+
+        try:
+            while pending or running:
+                now = time.monotonic()
+                # Launch eligible shards into free slots, lowest index first.
+                pending.sort(key=lambda item: (item[2], item[0]))
+                while len(running) < jobs and pending and pending[0][2] <= now:
+                    index, attempt, _ = pending.pop(0)
+                    running.append(
+                        self._spawn(
+                            simulator, patterns, good_chunks, shards[index],
+                            drop, index, attempt,
+                        )
+                    )
+                progressed = False
+                for slot in list(running):
+                    outcome = self._poll_slot(slot, now)
+                    if outcome is None:
+                        continue
+                    progressed = True
+                    running.remove(slot)
+                    status, payload = outcome
+                    if status == "ok":
+                        reason = validate_partial(
+                            payload, shards[slot.index], n_patterns
+                        )
+                        if reason is None:
+                            record(slot.index, payload, "worker", slot.attempt)
+                        else:
+                            counters["invalid_results"] += 1
+                            fail(slot, f"invalid result: {reason}")
+                    else:
+                        if status == "timeout":
+                            counters["timeouts"] += 1
+                        else:
+                            counters["worker_crashes"] += 1
+                        fail(slot, payload)
+                if not progressed:
+                    time.sleep(config.poll_interval_s)
+        except BaseException:
+            # KeyboardInterrupt or anything else: reap every child and
+            # leave the journal durable before propagating.
+            self._terminate(running)
+            if self.journal is not None:
+                self.journal.flush()
+            raise
+
+    def _spawn(self, simulator, patterns, good_chunks, shard, drop, index, attempt):
+        """Start one worker process for one shard attempt."""
+        context = self._context()
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_supervised_worker,
+            args=(
+                child_conn, index, attempt, shard, drop, simulator.netlist,
+                patterns, good_chunks, simulator.word_width, self.chaos,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        deadline = (
+            None
+            if self.config.timeout_s is None
+            else time.monotonic() + self.config.timeout_s
+        )
+        return _Slot(index, attempt, process, parent_conn, deadline)
+
+    def _poll_slot(self, slot: _Slot, now: float):
+        """One observation of a running worker.
+
+        Returns ``None`` (still running), ``("ok", partial)``,
+        ``("timeout", reason)``, or ``("crash"/"error", reason)``.
+        """
+        if slot.conn.poll():
+            try:
+                status, payload = slot.conn.recv()
+            except (EOFError, OSError):
+                status, payload = None, None
+            self._reap(slot)
+            if status == "ok":
+                return ("ok", payload)
+            if status == "error":
+                return ("error", f"worker error: {payload}")
+            return ("crash", "worker closed pipe without a result")
+        if not slot.process.is_alive():
+            self._reap(slot)
+            return (
+                "crash",
+                f"worker died (exit code {slot.process.exitcode})",
+            )
+        if slot.deadline is not None and now > slot.deadline:
+            self._reap(slot, kill=True)
+            return (
+                "timeout",
+                f"partition exceeded {self.config.timeout_s}s deadline",
+            )
+        return None
+
+    def _finish_poisoned(
+        self, simulator, patterns, good_chunks, shards, drop, index,
+        attempt, reason, record, failed, counters,
+    ) -> None:
+        """Pool retries exhausted: inline fallback, else mark failed."""
+        shard = shards[index]
+        if self.config.inline_fallback:
+            counters["inline_fallbacks"] += 1
+            inline_attempt = attempt + 1
+            try:
+                if self.chaos is not None:
+                    self.chaos.execute_pre(index, inline_attempt, inline=True)
+                partial = simulator._simulate_ppsfp(
+                    patterns, shard, drop, good_chunks=good_chunks
+                )
+                if self.chaos is not None:
+                    partial = self.chaos.corrupt_result(
+                        index, inline_attempt, partial, len(patterns)
+                    )
+                invalid = validate_partial(partial, shard, len(patterns))
+                if invalid is None:
+                    record(index, partial, "inline", inline_attempt)
+                    return
+                reason = f"inline fallback invalid result: {invalid}"
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                reason = f"inline fallback failed: {type(exc).__name__}: {exc}"
+            attempt = inline_attempt
+        failed.append(
+            {
+                "partition": index,
+                "faults": len(shard),
+                "attempts": attempt + 1,
+                "reason": reason,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Process plumbing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _context():
+        # fork shares the parent's netlist/patterns/good response for
+        # free; platforms without it pickle them through the Process args.
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return multiprocessing.get_context()
+
+    @staticmethod
+    def _reap(slot: _Slot, kill: bool = False) -> None:
+        if kill and slot.process.is_alive():
+            slot.process.kill()
+        slot.process.join(timeout=5.0)
+        if slot.process.is_alive():  # pragma: no cover - stuck in kernel
+            slot.process.terminate()
+            slot.process.join(timeout=1.0)
+        try:
+            slot.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def _terminate(self, running: List[_Slot]) -> None:
+        for slot in running:
+            self._reap(slot, kill=True)
+        running.clear()
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    def _fill_stats(
+        self, result, results, failed, shards, jobs, good_seconds, good_words,
+        start_time, counters, sources, attempts_used, journal_skipped,
+        simulator,
+    ) -> None:
+        per_partition: List[Dict[str, object]] = []
+        for index in sorted(results):
+            partial = results[index]
+            stats = partial.stats
+            per_partition.append(
+                {
+                    "partition": index,
+                    "faults": len(shards[index]),
+                    "detected": len(partial.detected),
+                    "events_propagated": stats.get("events_propagated", 0),
+                    "words_evaluated": stats.get("words_evaluated", 0),
+                    "wall_time_s": stats.get("wall_time_s", 0.0),
+                    "source": sources.get(index, "worker"),
+                    "attempts": attempts_used.get(index, 1),
+                }
+            )
+        walls = [p["wall_time_s"] for p in per_partition if p["wall_time_s"] > 0]
+        imbalance = (max(walls) / (sum(walls) / len(walls))) if walls else 1.0
+        result.stats.update(
+            engine=self.name,
+            jobs=jobs,
+            seed=self.seed,
+            word_width=simulator.word_width,
+            faults_simulated=result.total_faults,
+            n_partitions=len(shards),
+            partitions=per_partition,
+            events_propagated=sum(p["events_propagated"] for p in per_partition),
+            words_evaluated=good_words
+            + sum(p["words_evaluated"] for p in per_partition),
+            load_imbalance=round(imbalance, 3),
+            good_response_s=good_seconds,
+            wall_time_s=time.perf_counter() - start_time,
+            journal_skipped=journal_skipped,
+            **counters,
+        )
+        if self.journal is not None:
+            result.stats["journal_path"] = self.journal.path
+        if failed:
+            result.stats["failed_partitions"] = failed
+            result.stats["coverage_lower_bound"] = result.coverage

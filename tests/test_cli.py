@@ -61,3 +61,111 @@ class TestCommands:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestSupervisedCampaigns:
+    @pytest.fixture()
+    def pattern_file(self, tmp_path, capsys):
+        path = tmp_path / "alu4.pat"
+        assert main(["atpg", "alu4", "-o", str(path), "--seed", "3"]) == 0
+        capsys.readouterr()
+        return str(path)
+
+    def test_supervised_backend_roundtrip(self, pattern_file, capsys):
+        code = main(
+            ["faultsim", "alu4", pattern_file,
+             "--backend", "supervised", "--jobs", "2", "--partitions", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[supervised" in out and "4 partitions" in out
+
+    def test_partitions_flag_threads_through_pool(self, pattern_file, capsys):
+        code = main(
+            ["faultsim", "alu4", pattern_file,
+             "--backend", "pool", "--jobs", "2", "--partitions", "3"]
+        )
+        assert code == 0
+        assert "3 partitions" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--partitions", "0"],
+            ["--jobs", "-2"],
+            ["--seed", "-1"],
+            ["--timeout", "0"],
+            ["--retries", "-1"],
+        ],
+    )
+    def test_invalid_arguments_rejected(self, pattern_file, flags):
+        with pytest.raises(SystemExit):
+            main(["faultsim", "alu4", pattern_file] + flags)
+
+    def test_chaos_recovered_exit_zero(self, pattern_file, capsys):
+        code = main(
+            ["faultsim", "alu4", pattern_file, "--jobs", "2",
+             "--chaos", "1:crash"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "upgraded to supervised" in out
+        assert "recovered: 1 retries, 1 worker crashes" in out
+
+    def test_chaos_unrecoverable_exit_partial(self, pattern_file, capsys):
+        code = main(
+            ["faultsim", "alu4", pattern_file, "--jobs", "2",
+             "--retries", "0", "--chaos", "0:crash,crash"]
+        )
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "LOWER BOUND" in captured.err
+
+    def test_resume_skips_journaled_partitions(self, pattern_file, tmp_path, capsys):
+        journal = str(tmp_path / "campaign.jsonl")
+        first = main(
+            ["faultsim", "alu4", pattern_file, "--jobs", "2",
+             "--partitions", "4", "--resume", journal]
+        )
+        first_out = capsys.readouterr().out
+        assert first == 0
+        second = main(
+            ["faultsim", "alu4", pattern_file, "--jobs", "2",
+             "--partitions", "4", "--resume", journal]
+        )
+        second_out = capsys.readouterr().out
+        assert second == 0
+        assert "resumed from journal: 4/4 partitions skipped" in second_out
+        assert first_out.splitlines()[1] == second_out.splitlines()[1]  # coverage
+
+    def test_resume_wrong_campaign_exits_two(self, pattern_file, tmp_path, capsys):
+        journal = str(tmp_path / "campaign.jsonl")
+        assert main(
+            ["faultsim", "alu4", pattern_file, "--resume", journal]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["faultsim", "alu4", pattern_file, "--seed", "9",
+             "--resume", journal]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+    def test_atpg_resume_flag(self, tmp_path, capsys):
+        journal = str(tmp_path / "atpg.jsonl")
+        assert main(["atpg", "alu4", "--resume", journal, "--jobs", "2"]) == 0
+        assert "fault_coverage" in capsys.readouterr().out
+        import os
+
+        assert os.path.exists(journal)
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        def interrupted(_args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_cmd_plan", interrupted)
+        assert main(["plan"]) == 130
+        assert "--resume" in capsys.readouterr().err

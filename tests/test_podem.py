@@ -102,8 +102,48 @@ class TestUntestable:
         netlist = generators.random_resistant(14, cones=3)
         faults, _ = collapse_faults(netlist, full_fault_list(netlist))
         podem = Podem(netlist, backtrack_limit=1)
-        statuses = {podem.generate(f).status for f in faults}
-        assert "aborted" in statuses
+        outcomes = [podem.generate(f) for f in faults]
+        aborted = [o for o in outcomes if o.status == "aborted"]
+        assert aborted and all(o.reason == "backtracks" for o in aborted)
+
+
+class TestTimeBudget:
+    def test_time_budget_aborts_with_reason(self):
+        netlist = generators.random_resistant(14, cones=3)
+        faults, _ = collapse_faults(netlist, full_fault_list(netlist))
+        podem = Podem(netlist, backtrack_limit=10**6, time_budget_s=1e-7)
+        outcomes = [podem.generate(f) for f in faults]
+        aborted = [o for o in outcomes if o.status == "aborted"]
+        assert aborted and all(o.reason == "time" for o in aborted)
+        # A detected cube from a budgeted search is still a real test.
+        for fault, outcome in zip(faults, outcomes):
+            if outcome.detected:
+                _confirm(netlist, fault, outcome.cube)
+                break
+
+    def test_no_budget_is_unchanged(self, c17):
+        with_budget = Podem(c17, time_budget_s=3600.0)
+        without = Podem(c17)
+        for fault in full_fault_list(c17):
+            assert with_budget.generate(fault).cube == without.generate(fault).cube
+
+    def test_negative_budget_rejected(self, c17):
+        with pytest.raises(ValueError, match="time_budget_s"):
+            Podem(c17, time_budget_s=-1.0)
+
+    def test_run_atpg_counts_timeouts_separately(self):
+        from repro.atpg.engine import run_atpg
+
+        netlist = generators.random_resistant(14, cones=3)
+        result = run_atpg(
+            netlist, random_batches=2, podem_time_budget_s=1e-7, compact=False
+        )
+        summary = result.summary()
+        if result.abort_reasons.get("time"):
+            assert summary["aborted_timeout"] == result.abort_reasons["time"]
+            assert summary["aborted"] >= summary["aborted_timeout"]
+        # Aborted faults stay in the coverage denominator: not untestable.
+        assert result.total_faults >= len(result.untestable) + result.detected
 
 
 class TestBranchFaults:
