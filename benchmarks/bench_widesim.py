@@ -24,6 +24,7 @@ the same capability-gate style as ``bench_dispatch``'s core-count check.
 import sys
 import time
 
+from repro import obs
 from repro.atpg.engine import run_atpg
 from repro.atpg.random_gen import random_patterns
 from repro.circuit import generators
@@ -131,7 +132,8 @@ def _run_full():
 
 
 def test_widesim_width_ladder(benchmark):
-    netlist, faults, rows, cache = run_once(benchmark, _run_full)
+    with obs.observe("bench.widesim") as observation:
+        netlist, faults, rows, cache = run_once(benchmark, _run_full)
     print_table(f"E3 word-width ladder on {netlist.name}", rows)
     path = write_bench_json(
         "widesim",
@@ -143,6 +145,7 @@ def test_widesim_width_ladder(benchmark):
             "rows": rows,
             "cache_demo": cache,
         },
+        observation=observation,
     )
     print(f"wrote {path} ({len(netlist.gates)} gates)")
 

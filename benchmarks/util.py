@@ -9,9 +9,11 @@ against the recorded results.
 
 from __future__ import annotations
 
-import json
+import time
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import Dict, Optional, Sequence
+
+from repro.obs import Observation, RunReport
 
 
 def print_table(title: str, rows: Sequence[Dict[str, object]]) -> None:
@@ -48,13 +50,26 @@ def run_once(benchmark, function, *args, **kwargs):
     return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
 
-def write_bench_json(name: str, payload: object) -> Path:
+def write_bench_json(
+    name: str, payload: object, observation: Optional[Observation] = None
+) -> Path:
     """Persist a benchmark's machine-readable results.
 
     Written as ``BENCH_<name>.json`` next to the benchmark modules so
     successive runs (and CI) can diff measured numbers without re-parsing
-    the stdout tables.
+    the stdout tables.  Every file is a :class:`repro.obs.RunReport`
+    envelope — the same stable schema as ``repro <cmd> --report`` files —
+    with the benchmark's rows under ``payload``.  Pass the
+    :class:`~repro.obs.Observation` the benchmark ran under to include
+    its span tree and counters alongside the rows.
     """
+    if observation is not None:
+        report = RunReport.from_observation(observation, payload=payload)
+        report.name = f"bench.{name}"
+    else:
+        report = RunReport(
+            name=f"bench.{name}", payload=payload, generated_unix_s=time.time()
+        )
     path = Path(__file__).resolve().parent / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    path.write_text(report.to_json() + "\n")
     return path

@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from .. import obs
 from ..circuit.netlist import Netlist
 from ..circuit.values import X
 from ..faults.collapse import collapse_faults
@@ -188,21 +189,22 @@ def run_atpg(
     # Phase 1: random patterns with fault dropping.
     # ------------------------------------------------------------------
     kept_patterns: List[List[int]] = []
-    for batch in range(random_batches):
-        if not remaining:
-            break
-        batch_patterns = random_patterns(
-            n_inputs, word_width, seed=seed * 1000 + batch
-        )
-        sim = batch_sim(batch_patterns, remaining)
-        if sim.detected:
-            used = sorted(set(sim.detected.values()))
-            kept_patterns.extend(batch_patterns[index] for index in used)
-            result.detected_random += len(sim.detected)
-            remaining = [f for f in remaining if f not in sim.detected]
-        result.random_pattern_count += len(batch_patterns)
-        if len(sim.detected) < min_batch_yield:
-            break
+    with obs.span("random_fill"):
+        for batch in range(random_batches):
+            if not remaining:
+                break
+            batch_patterns = random_patterns(
+                n_inputs, word_width, seed=seed * 1000 + batch
+            )
+            sim = batch_sim(batch_patterns, remaining)
+            if sim.detected:
+                used = sorted(set(sim.detected.values()))
+                kept_patterns.extend(batch_patterns[index] for index in used)
+                result.detected_random += len(sim.detected)
+                remaining = [f for f in remaining if f not in sim.detected]
+            result.random_pattern_count += len(batch_patterns)
+            if len(sim.detected) < min_batch_yield:
+                break
 
     # ------------------------------------------------------------------
     # Phase 2: deterministic PODEM with dynamic fault dropping.
@@ -216,41 +218,47 @@ def run_atpg(
     phase2_fills: List[List[int]] = []
     queue = list(remaining)
     undetected = set(remaining)
-    for fault in queue:
-        if fault not in undetected:
-            continue
-        outcome = podem.generate(fault)
-        if outcome.status == "untestable":
-            result.untestable.append(fault)
-            undetected.discard(fault)
-            continue
-        if outcome.status == "aborted":
-            result.aborted.append(fault)
-            reason = outcome.reason or "backtracks"
-            result.abort_reasons[reason] = result.abort_reasons.get(reason, 0) + 1
-            undetected.discard(fault)
-            continue
-        cube = outcome.cube
-        assert cube is not None
-        cubes.append(cube)
-        # Dynamic compaction: the filled test usually detects extra faults.
-        filled = x_fill(cube, rng, fill_mode)
-        phase2_fills.append(filled)
-        sim = simulator.simulate([filled], list(undetected), drop=True)
-        result.detected_deterministic += len(sim.detected)
-        for detected_fault in sim.detected:
-            undetected.discard(detected_fault)
-        if fault in undetected:
-            # A correct PODEM cube detects its target under *any* X fill
-            # (implication already proved a D at an observation point), so
-            # fault simulation must confirm it.  Anything else is an engine
-            # inconsistency worth surfacing, not silently absorbing.
-            undetected.discard(fault)
-            result.consistency_errors.append(fault)
+    with obs.span("podem"):
+        for fault in queue:
+            if fault not in undetected:
+                continue
+            outcome = podem.generate(fault)
+            if outcome.status == "untestable":
+                result.untestable.append(fault)
+                undetected.discard(fault)
+                continue
+            if outcome.status == "aborted":
+                result.aborted.append(fault)
+                reason = outcome.reason or "backtracks"
+                result.abort_reasons[reason] = (
+                    result.abort_reasons.get(reason, 0) + 1
+                )
+                undetected.discard(fault)
+                continue
+            cube = outcome.cube
+            assert cube is not None
+            cubes.append(cube)
+            # Dynamic compaction: the filled test usually detects extra
+            # faults.
+            filled = x_fill(cube, rng, fill_mode)
+            phase2_fills.append(filled)
+            sim = simulator.simulate([filled], list(undetected), drop=True)
+            result.detected_deterministic += len(sim.detected)
+            for detected_fault in sim.detected:
+                undetected.discard(detected_fault)
+            if fault in undetected:
+                # A correct PODEM cube detects its target under *any* X fill
+                # (implication already proved a D at an observation point),
+                # so fault simulation must confirm it.  Anything else is an
+                # engine inconsistency worth surfacing, not silently
+                # absorbing.
+                undetected.discard(fault)
+                result.consistency_errors.append(fault)
 
-    if compact and cubes:
-        cubes = static_compact(cubes)
-    deterministic_patterns = [x_fill(cube, rng, fill_mode) for cube in cubes]
+    with obs.span("compact"):
+        if compact and cubes:
+            cubes = static_compact(cubes)
+        deterministic_patterns = [x_fill(cube, rng, fill_mode) for cube in cubes]
     result.cubes = cubes
     result.patterns = kept_patterns + deterministic_patterns
 
@@ -258,30 +266,56 @@ def run_atpg(
     # *particular* random fill during dynamic dropping can be lost.  Verify
     # the final set and top off from the phase-2 fills (each known-good).
     if compact and phase2_fills:
-        counted = [
-            f
-            for f in faults
-            if f not in set(result.untestable)
-            and f not in set(result.aborted)
-            and f not in set(result.consistency_errors)
-        ]
-        check = batch_sim(result.patterns, counted)
-        missing = [f for f in counted if f not in check.detected]
-        # Top off one fill at a time: each fill was already simulated as a
-        # single-pattern block during phase 2, so every good-machine block
-        # here comes straight from the response cache — no recomputation.
-        for fill in phase2_fills:
-            if not missing:
-                break
-            topoff = simulator.simulate([fill], missing, drop=True)
-            if topoff.detected:
-                result.patterns.append(fill)
-                missing = [f for f in missing if f not in topoff.detected]
+        with obs.span("top_off"):
+            counted = [
+                f
+                for f in faults
+                if f not in set(result.untestable)
+                and f not in set(result.aborted)
+                and f not in set(result.consistency_errors)
+            ]
+            check = batch_sim(result.patterns, counted)
+            missing = [f for f in counted if f not in check.detected]
+            # Top off one fill at a time: each fill was already simulated as
+            # a single-pattern block during phase 2, so every good-machine
+            # block here comes straight from the response cache — no
+            # recomputation.
+            for fill in phase2_fills:
+                if not missing:
+                    break
+                topoff = simulator.simulate([fill], missing, drop=True)
+                if topoff.detected:
+                    result.patterns.append(fill)
+                    missing = [f for f in missing if f not in topoff.detected]
 
     if owned_journal is not None:
         owned_journal.close()
     result.cpu_seconds = time.perf_counter() - start
+    _publish_atpg(result)
     return result
+
+
+def _publish_atpg(result: AtpgResult) -> None:
+    """Mirror an :class:`AtpgResult` into the active observation."""
+    observation = obs.current()
+    if observation is None:
+        return
+    observation.add_counters(
+        "atpg",
+        {
+            "faults": result.total_faults,
+            "random_patterns": result.random_pattern_count,
+            "detected_random": result.detected_random,
+            "detected_deterministic": result.detected_deterministic,
+            "untestable": len(result.untestable),
+            "aborted": len(result.aborted),
+            "consistency_errors": len(result.consistency_errors),
+            "patterns": len(result.patterns),
+            "cubes": len(result.cubes),
+        },
+    )
+    obs.set_gauge("atpg.fault_coverage", result.fault_coverage)
+    obs.set_gauge("atpg.test_coverage", result.test_coverage)
 
 
 def atpg_table_row(netlist: Netlist, result: AtpgResult) -> Dict[str, object]:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from .. import obs
 from ..circuit.netlist import Netlist
 from ..compression.lfsr import LFSR, PhaseShifter
 from ..compression.misr import MISR
@@ -114,25 +115,46 @@ class StumpsController:
         detected_total = 0
         all_patterns: List[List[int]] = []
         applied = 0
-        while applied < n_patterns:
-            chunk_size = min(checkpoint_every, n_patterns - applied)
-            chunk = self.generate_patterns(chunk_size)
-            all_patterns.extend(chunk)
-            sim = self.simulator.simulate(chunk, remaining, drop=True)
-            detected_total += len(sim.detected)
-            remaining = [f for f in remaining if f not in sim.detected]
-            applied += chunk_size
-            result.coverage_points.append(
-                {
-                    "patterns": float(applied),
-                    "coverage": detected_total / len(faults) if faults else 1.0,
-                }
-            )
+        with obs.span("coverage_loop"):
+            while applied < n_patterns:
+                chunk_size = min(checkpoint_every, n_patterns - applied)
+                chunk = self.generate_patterns(chunk_size)
+                all_patterns.extend(chunk)
+                sim = self.simulator.simulate(chunk, remaining, drop=True)
+                detected_total += len(sim.detected)
+                remaining = [f for f in remaining if f not in sim.detected]
+                applied += chunk_size
+                result.coverage_points.append(
+                    {
+                        "patterns": float(applied),
+                        "coverage": detected_total / len(faults)
+                        if faults
+                        else 1.0,
+                    }
+                )
         result.patterns_applied = applied
         result.final_coverage = detected_total / len(faults) if faults else 1.0
         result.undetected = remaining
-        result.signature = self.good_signature(all_patterns)
+        with obs.span("signature"):
+            result.signature = self.good_signature(all_patterns)
+        _publish_lbist(result)
         return result
+
+
+def _publish_lbist(result: LbistResult) -> None:
+    """Mirror an :class:`LbistResult` into the active observation."""
+    observation = obs.current()
+    if observation is None:
+        return
+    observation.add_counters(
+        "lbist",
+        {
+            "patterns_applied": result.patterns_applied,
+            "faults": result.total_faults,
+            "faults_detected": result.total_faults - len(result.undetected),
+        },
+    )
+    obs.set_gauge("lbist.final_coverage", result.final_coverage)
 
 
 def _cop_hardness(netlist: Netlist, overrides: dict) -> float:
@@ -227,30 +249,33 @@ def run_weighted_lbist(
     if faults is None:
         faults, _ = collapse_faults(netlist, full_fault_list(netlist))
     simulator = FaultSimulator(netlist, word_width=word_width)
-    weights = derive_input_weights(netlist)
+    with obs.span("derive_weights"):
+        weights = derive_input_weights(netlist)
     result = LbistResult(total_faults=len(faults))
     remaining = list(faults)
     detected_total = 0
     applied = 0
     chunk_size = word_width
-    while applied < n_patterns:
-        count = min(chunk_size, n_patterns - applied)
-        chunk = weighted_random_patterns(
-            len(weights), count, weights, seed=seed * 131 + applied
-        )
-        graded = simulator.simulate(chunk, remaining, drop=True)
-        detected_total += len(graded.detected)
-        remaining = [f for f in remaining if f not in graded.detected]
-        applied += count
-        result.coverage_points.append(
-            {
-                "patterns": float(applied),
-                "coverage": detected_total / len(faults) if faults else 1.0,
-            }
-        )
+    with obs.span("coverage_loop"):
+        while applied < n_patterns:
+            count = min(chunk_size, n_patterns - applied)
+            chunk = weighted_random_patterns(
+                len(weights), count, weights, seed=seed * 131 + applied
+            )
+            graded = simulator.simulate(chunk, remaining, drop=True)
+            detected_total += len(graded.detected)
+            remaining = [f for f in remaining if f not in graded.detected]
+            applied += count
+            result.coverage_points.append(
+                {
+                    "patterns": float(applied),
+                    "coverage": detected_total / len(faults) if faults else 1.0,
+                }
+            )
     result.patterns_applied = applied
     result.final_coverage = detected_total / len(faults) if faults else 1.0
     result.undetected = remaining
+    _publish_lbist(result)
     return result
 
 

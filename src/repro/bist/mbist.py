@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from .. import obs
 from .march import Direction, MarchTest, ALL_MARCH_TESTS
 from .memory import FAULT_KINDS, Memory, MemoryFault, sample_faults
 
@@ -54,12 +55,26 @@ def run_march(memory: Memory, test: MarchTest, stop_on_first: bool = False) -> M
                             "observed": observed,
                         }
                     if stop_on_first:
-                        return MarchRunResult(
-                            test.name, False, operations, first_failure, failures
+                        return _publish_march(
+                            MarchRunResult(
+                                test.name, False, operations, first_failure, failures
+                            )
                         )
-    return MarchRunResult(
-        test.name, failures == 0, operations, first_failure, failures
+    return _publish_march(
+        MarchRunResult(
+            test.name, failures == 0, operations, first_failure, failures
+        )
     )
+
+
+def _publish_march(result: MarchRunResult) -> MarchRunResult:
+    """Mirror one March run into the active observation."""
+    observation = obs.current()
+    if observation is not None:
+        observation.counter("mbist.march_runs").add(1)
+        observation.counter("mbist.operations").add(result.operations)
+        observation.counter("mbist.failures").add(result.failures)
+    return result
 
 
 def detects_fault(test: MarchTest, fault: MemoryFault, n_cells: int = 64) -> bool:
@@ -97,14 +112,17 @@ def coverage_matrix(
         for kind in fault_kinds
     }
     matrix: Dict[str, Dict[str, CoverageCell]] = {}
-    for test in tests:
-        row: Dict[str, CoverageCell] = {}
-        for kind, faults in populations.items():
-            detected = sum(
-                1 for fault in faults if detects_fault(test, fault, n_cells)
-            )
-            row[kind] = CoverageCell(detected=detected, total=len(faults))
-        matrix[test.name] = row
+    with obs.span(
+        "coverage_matrix", tests=len(tests), fault_kinds=len(fault_kinds)
+    ):
+        for test in tests:
+            row: Dict[str, CoverageCell] = {}
+            for kind, faults in populations.items():
+                detected = sum(
+                    1 for fault in faults if detects_fault(test, fault, n_cells)
+                )
+                row[kind] = CoverageCell(detected=detected, total=len(faults))
+            matrix[test.name] = row
     return matrix
 
 

@@ -8,6 +8,7 @@ point the tests, examples, and benchmark harnesses use.
 
 from __future__ import annotations
 
+import re
 from typing import Callable, Dict, List
 
 from . import generators
@@ -91,12 +92,32 @@ def benchmark_names() -> List[str]:
     return sorted(_REGISTRY)
 
 
+#: ``<base>_x<N>`` names replicate a registered benchmark N times (the
+#: multi-core accelerator view, e.g. ``mac4_x32`` = 32 mac4 cores).
+_REPLICATED = re.compile(r"^(?P<base>[A-Za-z0-9]+)_x(?P<copies>\d+)$")
+
+
 def get_benchmark(name: str) -> Netlist:
-    """Build the named benchmark circuit (a fresh instance every call)."""
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
+    """Build the named benchmark circuit (a fresh instance every call).
+
+    Besides the registered names, ``<base>_x<N>`` (e.g. ``mac4_x32``)
+    replicates benchmark ``<base>`` into an ``N``-core flat netlist via
+    :func:`repro.dft.flatten.replicate_netlist`.
+    """
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        match = _REPLICATED.match(name)
+        if match and match.group("base") in _REGISTRY:
+            from ..dft.flatten import replicate_netlist
+
+            copies = int(match.group("copies"))
+            if copies < 1:
+                raise KeyError(f"replicated benchmark {name!r} needs >= 1 copy")
+            return replicate_netlist(
+                _REGISTRY[match.group("base")](), copies
+            )
         raise KeyError(
-            f"unknown benchmark {name!r}; available: {benchmark_names()}"
-        ) from None
+            f"unknown benchmark {name!r}; available: {benchmark_names()} "
+            f"(or any '<name>_xN' replication, e.g. 'mac4_x32')"
+        )
     return factory()

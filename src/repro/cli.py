@@ -26,6 +26,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import obs
 from .atpg import atpg_table_row, run_atpg
 from .bist.lbist import StumpsController
 from .bist.mbist import coverage_matrix, format_matrix
@@ -60,6 +61,21 @@ def _load_circuit(spec: str) -> Netlist:
     return benchmarks.get_benchmark(spec)
 
 
+def _circuit_spec(args) -> str:
+    """The circuit named positionally or via ``--circuit`` (exactly one)."""
+    positional = getattr(args, "circuit", None)
+    flagged = getattr(args, "circuit_opt", None)
+    if positional and flagged and positional != flagged:
+        raise ValueError(
+            f"circuit given twice: positional {positional!r} vs "
+            f"--circuit {flagged!r}"
+        )
+    spec = flagged or positional
+    if not spec:
+        raise ValueError("no circuit given (positionally or via --circuit)")
+    return spec
+
+
 def _cmd_circuits(_args) -> int:
     for name in benchmarks.benchmark_names():
         netlist = benchmarks.get_benchmark(name)
@@ -68,7 +84,7 @@ def _cmd_circuits(_args) -> int:
 
 
 def _cmd_stats(args) -> int:
-    netlist = _load_circuit(args.circuit)
+    netlist = _load_circuit(_circuit_spec(args))
     print(f"{netlist.name}: {netlist.stats()}")
     faults = full_fault_list(netlist)
     collapsed, _ = collapse_faults(netlist, faults)
@@ -77,7 +93,7 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_atpg(args) -> int:
-    netlist = _load_circuit(args.circuit)
+    netlist = _load_circuit(_circuit_spec(args))
     result = run_atpg(
         netlist,
         seed=args.seed,
@@ -136,7 +152,7 @@ def _supervised_backend(args) -> Optional[SupervisedPoolBackend]:
 
 
 def _cmd_faultsim(args) -> int:
-    netlist = _load_circuit(args.circuit)
+    netlist = _load_circuit(_circuit_spec(args))
     pattern_file = load_patterns(args.patterns)
     faults, _ = collapse_faults(netlist, full_fault_list(netlist))
     simulator = FaultSimulator(netlist, word_width=args.word_width)
@@ -214,7 +230,7 @@ def _cmd_faultsim(args) -> int:
 
 
 def _cmd_lbist(args) -> int:
-    netlist = _load_circuit(args.circuit)
+    netlist = _load_circuit(_circuit_spec(args))
     controller = StumpsController(netlist, word_width=args.word_width)
     result = controller.run(args.patterns)
     for point in result.coverage_points:
@@ -300,6 +316,39 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     _add_word_width_argument(parser)
 
 
+def _add_circuit_arguments(parser: argparse.ArgumentParser) -> None:
+    """Accept the circuit positionally or as ``--circuit`` (one required)."""
+    parser.add_argument(
+        "circuit",
+        nargs="?",
+        default=None,
+        help="benchmark name (incl. '<name>_xN' replications like "
+        "'mac4_x32'), .bench, or .v file",
+    )
+    parser.add_argument(
+        "--circuit",
+        dest="circuit_opt",
+        default=None,
+        metavar="CIRCUIT",
+        help="alternative to the positional circuit argument",
+    )
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Observability flags every subcommand carries."""
+    parser.add_argument(
+        "--report",
+        metavar="FILE",
+        default=None,
+        help="write a structured RunReport (spans + counters) as JSON",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the span tree and counters after the command finishes",
+    )
+
+
 def _add_supervision_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--seed",
@@ -344,16 +393,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("circuits", help="list built-in circuits").set_defaults(
-        handler=_cmd_circuits
-    )
+    circuits = commands.add_parser("circuits", help="list built-in circuits")
+    _add_obs_arguments(circuits)
+    circuits.set_defaults(handler=_cmd_circuits)
 
     stats = commands.add_parser("stats", help="circuit statistics")
-    stats.add_argument("circuit", help="benchmark name, .bench, or .v file")
+    _add_circuit_arguments(stats)
+    _add_obs_arguments(stats)
     stats.set_defaults(handler=_cmd_stats)
 
     atpg = commands.add_parser("atpg", help="run stuck-at ATPG")
-    atpg.add_argument("circuit")
+    _add_circuit_arguments(atpg)
+    _add_obs_arguments(atpg)
     atpg.add_argument("--seed", type=_nonnegative_int, default=0)
     atpg.add_argument("--backtrack-limit", type=_positive_int, default=64)
     atpg.add_argument(
@@ -376,33 +427,76 @@ def build_parser() -> argparse.ArgumentParser:
     atpg.set_defaults(handler=_cmd_atpg)
 
     faultsim = commands.add_parser("faultsim", help="grade a pattern file")
-    faultsim.add_argument("circuit")
+    _add_circuit_arguments(faultsim)
     faultsim.add_argument("patterns", help="pattern file from `repro atpg -o`")
     _add_backend_arguments(faultsim)
     _add_supervision_arguments(faultsim)
+    _add_obs_arguments(faultsim)
     faultsim.set_defaults(handler=_cmd_faultsim)
 
     lbist = commands.add_parser("lbist", help="run STUMPS logic BIST")
-    lbist.add_argument("circuit")
+    _add_circuit_arguments(lbist)
     lbist.add_argument("--patterns", type=int, default=512)
     _add_word_width_argument(lbist)
+    _add_obs_arguments(lbist)
     lbist.set_defaults(handler=_cmd_lbist)
 
     mbist = commands.add_parser("mbist", help="March coverage matrix")
     mbist.add_argument("--cells", type=int, default=64)
     mbist.add_argument("--samples", type=int, default=30)
     mbist.add_argument("--seed", type=int, default=0)
+    _add_obs_arguments(mbist)
     mbist.set_defaults(handler=_cmd_mbist)
 
     plan = commands.add_parser("plan", help="chip-level DFT plan")
+    _add_obs_arguments(plan)
     plan.set_defaults(handler=_cmd_plan)
     return parser
+
+
+def _print_profile(observation: "obs.Observation") -> None:
+    """Human-readable span tree and metric values (the ``--profile`` view)."""
+    print("--- profile: spans ---")
+    for line in observation.root.tree_lines():
+        print(line)
+    samples = [
+        (obs.metric_id(name, labels), metric)
+        for name, labels, metric in observation.metrics.items()
+        if metric.kind in ("counter", "gauge") and metric.value is not None
+    ]
+    if samples:
+        print("--- profile: metrics ---")
+        width = max(len(identity) for identity, _ in samples)
+        for identity, metric in samples:
+            value = metric.value
+            rendered = f"{value:.6f}" if isinstance(value, float) else str(value)
+            print(f"{identity:<{width}s} {rendered}")
+
+
+def _run_observed(args, argv: Optional[List[str]]) -> int:
+    """Run the handler under an observation; emit report/profile after."""
+    with obs.observe(f"repro.{args.command}", command=args.command) as observation:
+        code = args.handler(args)
+    meta = {
+        "argv": list(argv) if argv is not None else list(sys.argv[1:]),
+        "exit_code": code,
+    }
+    report = obs.RunReport.from_observation(observation, meta=meta)
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"wrote run report to {args.report}")
+    if args.profile:
+        _print_profile(observation)
+    return code
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if getattr(args, "report", None) or getattr(args, "profile", False):
+            return _run_observed(args, argv)
         return args.handler(args)
     except KeyboardInterrupt:
         # The supervisor has already reaped its workers and flushed the

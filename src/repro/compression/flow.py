@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from .. import obs
 from ..atpg.podem import Podem
 from ..atpg.engine import x_fill
 from ..atpg.random_gen import random_patterns
@@ -121,96 +122,127 @@ def run_compressed_atpg(
     # Phase 1: random channel data -> decompressed pseudo-random patterns.
     # ------------------------------------------------------------------
     n_vars = edt.config.variables_per_pattern
-    for _ in range(random_pattern_budget):
-        if not remaining:
-            break
-        variables = [rng.randint(0, 1) for _ in range(n_vars)]
-        loads = edt.decompressor.expand(variables)
-        state = edt.loads_to_state(loads)
-        pi_bits = [rng.randint(0, 1) for _ in range(n_pi)]
-        pattern = pi_bits + state
-        sim = simulator.simulate([pattern], remaining, drop=True)
-        if sim.detected:
-            result.applied_patterns.append(pattern)
-            result.encoded.append(
-                EncodedPattern(
-                    pi_bits=pi_bits,
-                    channel_stream=edt.decompressor.variables_to_channel_stream(
-                        variables
-                    ),
-                    expanded_state=state,
+    with obs.span("compression_random"):
+        for _ in range(random_pattern_budget):
+            if not remaining:
+                break
+            variables = [rng.randint(0, 1) for _ in range(n_vars)]
+            loads = edt.decompressor.expand(variables)
+            state = edt.loads_to_state(loads)
+            pi_bits = [rng.randint(0, 1) for _ in range(n_pi)]
+            pattern = pi_bits + state
+            sim = simulator.simulate([pattern], remaining, drop=True)
+            if sim.detected:
+                result.applied_patterns.append(pattern)
+                result.encoded.append(
+                    EncodedPattern(
+                        pi_bits=pi_bits,
+                        channel_stream=edt.decompressor.variables_to_channel_stream(
+                            variables
+                        ),
+                        expanded_state=state,
+                    )
                 )
-            )
-            result.detected += len(sim.detected)
-            remaining = [f for f in remaining if f not in sim.detected]
+                result.detected += len(sim.detected)
+                remaining = [f for f in remaining if f not in sim.detected]
 
     # ------------------------------------------------------------------
     # Phase 2: deterministic cubes, encoded one at a time.
     # ------------------------------------------------------------------
     podem = Podem(netlist, backtrack_limit=backtrack_limit)
     undetected = set(remaining)
-    for fault in remaining:
-        if fault not in undetected:
-            continue
-        outcome = podem.generate(fault)
-        if outcome.status == "untestable":
-            result.untestable += 1
-            undetected.discard(fault)
-            continue
-        if outcome.status == "aborted":
-            result.aborted += 1
-            undetected.discard(fault)
-            continue
-        cube = outcome.cube
-        assert cube is not None
-        pi_part, care = edt.cube_to_care_bits(cube)
-        variables = edt.decompressor.solve_cube(care)
-        if variables is None:
-            # Channel capacity exceeded: apply through bypass scan.
-            result.unencodable += 1
-            pattern = x_fill(cube, rng, "random")
-            result.bypass_patterns.append(pattern)
-        else:
-            loads = edt.decompressor.expand(variables)
-            state = edt.loads_to_state(loads)
-            pi_bits = [v if v in (0, 1) else rng.randint(0, 1) for v in pi_part]
-            pattern = pi_bits + state
-            result.encoded.append(
-                EncodedPattern(
-                    pi_bits=pi_bits,
-                    channel_stream=edt.decompressor.variables_to_channel_stream(
-                        variables
-                    ),
-                    expanded_state=state,
+    with obs.span("compression_encode"):
+        for fault in remaining:
+            if fault not in undetected:
+                continue
+            outcome = podem.generate(fault)
+            if outcome.status == "untestable":
+                result.untestable += 1
+                undetected.discard(fault)
+                continue
+            if outcome.status == "aborted":
+                result.aborted += 1
+                undetected.discard(fault)
+                continue
+            cube = outcome.cube
+            assert cube is not None
+            pi_part, care = edt.cube_to_care_bits(cube)
+            variables = edt.decompressor.solve_cube(care)
+            if variables is None:
+                # Channel capacity exceeded: apply through bypass scan.
+                result.unencodable += 1
+                pattern = x_fill(cube, rng, "random")
+                result.bypass_patterns.append(pattern)
+            else:
+                loads = edt.decompressor.expand(variables)
+                state = edt.loads_to_state(loads)
+                pi_bits = [
+                    v if v in (0, 1) else rng.randint(0, 1) for v in pi_part
+                ]
+                pattern = pi_bits + state
+                result.encoded.append(
+                    EncodedPattern(
+                        pi_bits=pi_bits,
+                        channel_stream=edt.decompressor.variables_to_channel_stream(
+                            variables
+                        ),
+                        expanded_state=state,
+                    )
                 )
-            )
-        result.applied_patterns.append(pattern)
-        sim = simulator.simulate([pattern], list(undetected), drop=True)
-        result.detected += len(sim.detected)
-        for detected_fault in sim.detected:
-            undetected.discard(detected_fault)
-        if fault in undetected:
-            # Encoded fill diverged from the cube's intent — possible only
-            # for bypass-path randomness; retry once with the bypass fill.
-            undetected.discard(fault)
-            retry = x_fill(cube, rng, "random")
-            sim = simulator.simulate([retry], [fault], drop=True)
-            if sim.detected:
-                result.bypass_patterns.append(retry)
-                result.applied_patterns.append(retry)
-                result.detected += 1
+            result.applied_patterns.append(pattern)
+            sim = simulator.simulate([pattern], list(undetected), drop=True)
+            result.detected += len(sim.detected)
+            for detected_fault in sim.detected:
+                undetected.discard(detected_fault)
+            if fault in undetected:
+                # Encoded fill diverged from the cube's intent — possible
+                # only for bypass-path randomness; retry once with the
+                # bypass fill.
+                undetected.discard(fault)
+                retry = x_fill(cube, rng, "random")
+                sim = simulator.simulate([retry], [fault], drop=True)
+                if sim.detected:
+                    result.bypass_patterns.append(retry)
+                    result.applied_patterns.append(retry)
+                    result.detected += 1
 
     if grade and result.applied_patterns:
-        graded = simulator.simulate(
-            result.applied_patterns,
-            faults,
-            drop=True,
-            engine=backend,
-            jobs=jobs,
-            seed=seed,
-        )
-        result.graded_coverage = graded.coverage
-        result.grading_stats = dict(graded.stats)
+        with obs.span("grade"):
+            graded = simulator.simulate(
+                result.applied_patterns,
+                faults,
+                drop=True,
+                engine=backend,
+                jobs=jobs,
+                seed=seed,
+            )
+            result.graded_coverage = graded.coverage
+            result.grading_stats = dict(graded.stats)
 
     result.cpu_seconds = time.perf_counter() - start
+    _publish_compression(result)
     return result
+
+
+def _publish_compression(result: CompressedAtpgResult) -> None:
+    """Mirror a :class:`CompressedAtpgResult` into the active observation."""
+    observation = obs.current()
+    if observation is None:
+        return
+    observation.add_counters(
+        "compression",
+        {
+            "faults": result.total_faults,
+            "detected": result.detected,
+            "encoded_patterns": len(result.encoded),
+            "bypass_patterns": len(result.bypass_patterns),
+            "applied_patterns": len(result.applied_patterns),
+            "unencodable": result.unencodable,
+            "untestable": result.untestable,
+            "aborted": result.aborted,
+        },
+    )
+    obs.set_gauge("compression.fault_coverage", result.fault_coverage)
+    obs.set_gauge("compression.test_coverage", result.test_coverage)
+    if result.graded_coverage is not None:
+        obs.set_gauge("compression.graded_coverage", result.graded_coverage)

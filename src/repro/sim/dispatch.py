@@ -32,6 +32,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..circuit.netlist import Netlist
 from ..faults.model import StuckAtFault
+from ..obs import MetricRegistry
 from .faultsim import FaultSimResult, FaultSimulator, _unique
 
 #: Backend names accepted by ``FaultSimulator.simulate(engine=...)`` and the
@@ -99,6 +100,31 @@ def partition_faults(
     for position, index in enumerate(order):
         partitions[position % n].append(unique[index])
     return partitions
+
+
+def partition_metrics(partial: FaultSimResult) -> Dict[str, object]:
+    """Serialized worker-side metric registry for one partition result.
+
+    Built inside the worker (or rebuilt in the parent for journal-replayed
+    partials that predate metrics) so per-partition counters travel home
+    inside ``stats["metrics"]`` and fold together with the registry's
+    associative, commutative merge — the totals are independent of worker
+    count, completion order, and partition grouping.
+    """
+    stats = partial.stats
+    registry = MetricRegistry()
+    registry.counter("faultsim.faults_simulated").add(partial.total_faults)
+    registry.counter("faultsim.faults_detected").add(len(partial.detected))
+    registry.counter("faultsim.events_propagated").add(
+        stats.get("events_propagated", 0)
+    )
+    registry.counter("faultsim.words_evaluated").add(
+        stats.get("words_evaluated", 0)
+    )
+    registry.histogram("faultsim.partition_wall_s").observe(
+        stats.get("wall_time_s", 0.0)
+    )
+    return registry.to_dict()
 
 
 def merge_results(
@@ -200,6 +226,7 @@ def _pool_partition(task: Tuple[int, List[StuckAtFault], bool]):
     partial = simulator._simulate_ppsfp(
         patterns, partition, drop, good_chunks=good_chunks
     )
+    partial.stats["metrics"] = partition_metrics(partial)
     return index, partial
 
 
@@ -255,6 +282,9 @@ class PoolBackend(FaultSimBackend):
                 t0 = time.perf_counter()
                 index, partial = self._run_inline(simulator, patterns, task, good_chunks)
                 partial.stats["wall_time_s"] = time.perf_counter() - t0
+                # After the wall-time override, so the histogram sees the
+                # same value the partition stats report.
+                partial.stats["metrics"] = partition_metrics(partial)
                 partials.append((index, partial))
         else:
             context = self._context()
@@ -302,8 +332,12 @@ class PoolBackend(FaultSimBackend):
         self, result, partials, tasks, jobs, good_seconds, good_words, start_time
     ):
         per_partition: List[Dict[str, object]] = []
+        merged = MetricRegistry()
         for index, partial in sorted(partials, key=lambda pair: pair[0]):
             stats = partial.stats
+            # Journal-replayed partials may predate worker metrics; rebuild
+            # their registry from the kept stats so the merge stays total.
+            merged.merge_dict(stats.get("metrics") or partition_metrics(partial))
             per_partition.append(
                 {
                     "partition": index,
@@ -321,12 +355,17 @@ class PoolBackend(FaultSimBackend):
             jobs=jobs,
             seed=self.seed,
             faults_simulated=result.total_faults,
-            events_propagated=sum(p["events_propagated"] for p in per_partition),
+            # Derived from the merged worker registries rather than the raw
+            # partition list: the production totals ride the same
+            # associative merge the observability layer guarantees.
+            events_propagated=merged.counter("faultsim.events_propagated").value,
             words_evaluated=good_words
-            + sum(p["words_evaluated"] for p in per_partition),
+            + merged.counter("faultsim.words_evaluated").value,
+            good_words_evaluated=good_words,
             good_response_s=good_seconds,
             load_imbalance=round(imbalance, 3),
             partitions=per_partition,
+            metrics=merged.to_dict(),
             wall_time_s=time.perf_counter() - start_time,
         )
 

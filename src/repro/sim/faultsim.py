@@ -30,11 +30,37 @@ from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..circuit.gates import GateType, compile_parallel_evaluator, evaluate_parallel
 from ..circuit.netlist import Netlist
 from ..faults.model import OUTPUT_PIN, BridgingFault, StuckAtFault, TransitionFault
 from . import goodcache
 from .parallel import WORD_WIDTH, ParallelSimulator
+
+#: ``stats`` keys the parent process contributes to the observation's
+#: ``faultsim.*`` counters — the good-machine side of a run, which no
+#: worker partition ever sees.  Worker-side counters (events, words,
+#: faults) come either from the same stats (single-process engines) or
+#: from the merged per-partition metric registries (pool/supervised).
+_PARENT_STAT_KEYS = (
+    "good_passes",
+    "good_cache_hits",
+    "good_cache_misses",
+    "good_cache_evictions",
+    "good_response_s",
+    "wall_time_s",
+)
+
+#: Supervisor recovery stats that become first-class ``supervisor.*``
+#: counters when present.
+_SUPERVISOR_STAT_KEYS = (
+    "retries",
+    "worker_crashes",
+    "timeouts",
+    "invalid_results",
+    "inline_fallbacks",
+    "journal_skipped",
+)
 
 
 def _unique(faults: Iterable[object]) -> List[object]:
@@ -121,22 +147,28 @@ class FaultSimulator:
         self._events_propagated = 0
         self._words_evaluated = 0
 
-    def _snapshot(self) -> Tuple[int, int, int, int, int, float]:
+    def _snapshot(self) -> Tuple[int, int, int, int, int, int, float]:
         parallel = self.parallel
+        cache = parallel.cache
         return (
             self._events_propagated,
             self._words_evaluated,
             parallel.evaluations,
             parallel.cache_hits,
             parallel.cache_misses,
+            cache.evictions if cache is not None else 0,
             time.perf_counter(),
         )
 
     def _fill_stats(
-        self, result: FaultSimResult, engine: str, since: Tuple[int, int, int, int, int, float]
+        self,
+        result: FaultSimResult,
+        engine: str,
+        since: Tuple[int, int, int, int, int, int, float],
     ) -> FaultSimResult:
-        events0, words0, passes0, hits0, misses0, t0 = since
+        events0, words0, passes0, hits0, misses0, evictions0, t0 = since
         parallel = self.parallel
+        cache = parallel.cache
         good_passes = parallel.evaluations - passes0
         result.stats.update(
             engine=engine,
@@ -149,8 +181,69 @@ class FaultSimulator:
             good_passes=good_passes,
             good_cache_hits=parallel.cache_hits - hits0,
             good_cache_misses=parallel.cache_misses - misses0,
+            good_cache_evictions=(
+                (cache.evictions - evictions0) if cache is not None else 0
+            ),
             wall_time_s=time.perf_counter() - t0,
         )
+        return result
+
+    def _publish(self, result: FaultSimResult) -> FaultSimResult:
+        """Mirror a finished run's ``stats`` into the active observation.
+
+        The counters are *derived from the same values* ``stats`` holds,
+        so a RunReport's ``faultsim.*`` counters bit-identically match the
+        legacy stats dict for every engine.  Pool/supervised runs carry a
+        merged per-partition metric registry in ``stats["metrics"]``
+        (built worker-side, merged in the parent); single-process runs
+        publish the equivalent counters straight from stats.
+        """
+        observation = obs.current()
+        if observation is None:
+            return result
+        stats = result.stats
+        worker_metrics = stats.get("metrics")
+        if worker_metrics:
+            # Worker-side counters (events, partition words, faults) come
+            # home through the associative registry merge; the parent adds
+            # only its own good-machine word contribution on top so the
+            # total equals stats["words_evaluated"] exactly.
+            observation.merge_metrics(worker_metrics)
+            observation.counter("faultsim.words_evaluated").add(
+                stats.get("good_words_evaluated", 0)
+            )
+        else:
+            observation.add_counters(
+                "faultsim",
+                {
+                    key: stats[key]
+                    for key in (
+                        "faults_simulated",
+                        "events_propagated",
+                        "words_evaluated",
+                    )
+                    if key in stats
+                },
+            )
+            observation.counter("faultsim.faults_detected").add(
+                len(result.detected)
+            )
+        observation.add_counters(
+            "faultsim",
+            {key: stats[key] for key in _PARENT_STAT_KEYS if key in stats},
+        )
+        observation.counter("faultsim.patterns_simulated").add(
+            result.patterns_simulated
+        )
+        observation.counter("faultsim.runs").add(1)
+        observation.add_counters(
+            "supervisor",
+            {key: stats[key] for key in _SUPERVISOR_STAT_KEYS if key in stats},
+        )
+        if "failed_partitions" in stats:
+            observation.counter("supervisor.failed_partitions").add(
+                len(stats["failed_partitions"])
+            )
         return result
 
     # ------------------------------------------------------------------
@@ -275,24 +368,37 @@ class FaultSimulator:
         are identical for any worker count.
         """
         if not isinstance(engine, str):
-            return engine.run(self, patterns, faults, drop=drop)
-        if engine == "ppsfp":
-            return self._simulate_ppsfp(patterns, faults, drop)
-        if engine == "serial":
-            return self._simulate_serial(patterns, faults, drop)
-        if engine == "pool":
+            runner = lambda: engine.run(self, patterns, faults, drop=drop)
+            engine_name = type(engine).__name__
+        elif engine == "ppsfp":
+            runner = lambda: self._simulate_ppsfp(patterns, faults, drop)
+            engine_name = engine
+        elif engine == "serial":
+            runner = lambda: self._simulate_serial(patterns, faults, drop)
+            engine_name = engine
+        elif engine == "pool":
             from .dispatch import PoolBackend
 
-            return PoolBackend(jobs=jobs, seed=seed, partitions=partitions).run(
-                self, patterns, faults, drop=drop
-            )
-        if engine == "supervised":
+            backend = PoolBackend(jobs=jobs, seed=seed, partitions=partitions)
+            runner = lambda: backend.run(self, patterns, faults, drop=drop)
+            engine_name = engine
+        elif engine == "supervised":
             from .supervisor import SupervisedPoolBackend
 
-            return SupervisedPoolBackend(
+            backend = SupervisedPoolBackend(
                 jobs=jobs, seed=seed, partitions=partitions
-            ).run(self, patterns, faults, drop=drop)
-        raise ValueError(f"unknown engine {engine!r}")
+            )
+            runner = lambda: backend.run(self, patterns, faults, drop=drop)
+            engine_name = engine
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
+        # Span only multi-pattern runs: ATPG phase 2 / compression call in
+        # here once per candidate cube, and a span per cube would drown the
+        # tree.  Counters still accumulate for every run via _publish.
+        if obs.current() is not None and len(patterns) > 1:
+            with obs.span("faultsim", engine=engine_name, patterns=len(patterns)):
+                return self._publish(runner())
+        return self._publish(runner())
 
     def good_response(
         self, patterns: Sequence[Sequence[int]]
@@ -543,7 +649,9 @@ class FaultSimulator:
         result.undetected = [f for f in active if f not in result.detected]
         if not drop:
             result.patterns_simulated = len(pattern_pairs)
-        return self._fill_stats(result, "ppsfp-transition", since)
+        return self._publish(
+            self._fill_stats(result, "ppsfp-transition", since)
+        )
 
     def _site_value(self, fault, good: Sequence[int]) -> int:
         """Good-machine word at a fault site (branch value = stem value)."""
@@ -606,7 +714,9 @@ class FaultSimulator:
         result.undetected = [f for f in active if f not in result.detected]
         if not drop:
             result.patterns_simulated = len(patterns)
-        return self._fill_stats(result, "ppsfp-bridging", since)
+        return self._publish(
+            self._fill_stats(result, "ppsfp-bridging", since)
+        )
 
 
 def _resolve_words(

@@ -39,7 +39,9 @@ from .faultsim import FaultSimResult
 JOURNAL_VERSION = 1
 
 #: Per-partition stats fields preserved through a journal round-trip.
-_KEPT_STATS = ("events_propagated", "words_evaluated", "wall_time_s")
+#: ``metrics`` is the worker's serialized metric registry (plain dicts,
+#: JSON-safe) so replayed partials merge into observations like fresh ones.
+_KEPT_STATS = ("events_propagated", "words_evaluated", "wall_time_s", "metrics")
 
 
 class JournalMismatchError(ValueError):

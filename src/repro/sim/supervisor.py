@@ -48,12 +48,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..faults.model import StuckAtFault
+from ..obs import MetricRegistry
 from .chaos import ChaosPlan
 from .dispatch import (
     FaultSimBackend,
     default_partition_count,
     merge_results,
     partition_faults,
+    partition_metrics,
     validate_pool_args,
 )
 from .faultsim import FaultSimResult, FaultSimulator, _unique
@@ -143,6 +145,9 @@ def _supervised_worker(conn, index, attempt, shard, drop, netlist, patterns,
         )
         if chaos is not None:
             partial = chaos.corrupt_result(index, attempt, partial, len(patterns))
+        # After chaos corruption, so the registry describes the partial as
+        # actually shipped (a rejected partial's metrics die with it).
+        partial.stats["metrics"] = partition_metrics(partial)
         status, payload = "ok", partial
     except BaseException as exc:  # noqa: BLE001 - report, don't die silently
         status, payload = "error", f"{type(exc).__name__}: {exc}"
@@ -414,6 +419,7 @@ class SupervisedPoolBackend(FaultSimBackend):
                     )
                 invalid = validate_partial(partial, shard, len(patterns))
                 if invalid is None:
+                    partial.stats["metrics"] = partition_metrics(partial)
                     record(index, partial, "inline", inline_attempt)
                     return
                 reason = f"inline fallback invalid result: {invalid}"
@@ -472,9 +478,13 @@ class SupervisedPoolBackend(FaultSimBackend):
         simulator,
     ) -> None:
         per_partition: List[Dict[str, object]] = []
+        merged = MetricRegistry()
         for index in sorted(results):
             partial = results[index]
             stats = partial.stats
+            # Journal-replayed partials may predate worker metrics; rebuild
+            # their registry from the kept stats so the merge stays total.
+            merged.merge_dict(stats.get("metrics") or partition_metrics(partial))
             per_partition.append(
                 {
                     "partition": index,
@@ -497,13 +507,18 @@ class SupervisedPoolBackend(FaultSimBackend):
             faults_simulated=result.total_faults,
             n_partitions=len(shards),
             partitions=per_partition,
-            events_propagated=sum(p["events_propagated"] for p in per_partition),
+            # Derived from the merged worker registries rather than the raw
+            # partition list: the production totals ride the same
+            # associative merge the observability layer guarantees.
+            events_propagated=merged.counter("faultsim.events_propagated").value,
             words_evaluated=good_words
-            + sum(p["words_evaluated"] for p in per_partition),
+            + merged.counter("faultsim.words_evaluated").value,
+            good_words_evaluated=good_words,
             load_imbalance=round(imbalance, 3),
             good_response_s=good_seconds,
             wall_time_s=time.perf_counter() - start_time,
             journal_skipped=journal_skipped,
+            metrics=merged.to_dict(),
             **counters,
         )
         if self.journal is not None:

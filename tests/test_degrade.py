@@ -1,0 +1,117 @@
+"""Backfill tests for graceful degradation (``repro.dft.degrade``).
+
+The tutorial's closing case study: per-unit test verdicts become a
+map-out decision and a performance bin.  These tests pin the binning
+arithmetic, the core-disable threshold, and the population-level yield
+uplift claim.
+"""
+
+from repro.aichip.accelerator import AcceleratorConfig, CoreConfig, TiledAccelerator
+from repro.aichip.systolic import PEFault
+
+# Module import keeps pytest from collecting test_and_degrade as a test.
+from repro.dft import degrade
+from repro.dft.degrade import BinningPolicy, DegradeOutcome, yield_with_degradation
+
+# Small 4-core / 4x4-array chip: 16 PE rows total, cheap functional screens.
+CONFIG = AcceleratorConfig(n_cores=4, core=CoreConfig(array_rows=4, array_cols=4))
+
+
+def _chip(core_pe_faults=None):
+    return TiledAccelerator(CONFIG, core_pe_faults=core_pe_faults)
+
+
+def _dead_rows(n_rows):
+    """One dead PE per row in rows [0, n_rows) — maps out those rows.
+
+    The dead PEs sit on the diagonal so the functional screen's error
+    attribution sees at most one bad sample per column (clustering them
+    in one column would look like a stuck product bit instead).
+    """
+    return [PEFault(row, row, "dead") for row in range(n_rows)]
+
+
+class TestTestAndDegrade:
+    def test_clean_chip_ships_full_bin(self):
+        outcome = degrade.test_and_degrade(_chip())
+        assert isinstance(outcome, DegradeOutcome)
+        assert outcome.shippable
+        assert outcome.bin_name == "full"
+        assert outcome.compute_fraction == 1.0
+        assert outcome.cores_enabled == CONFIG.n_cores
+        assert outcome.rows_lost == {}
+        assert outcome.pes_mapped_out == {}
+
+    def test_single_dead_pe_derates(self):
+        chip = _chip({0: [PEFault(1, 2, "dead")]})
+        outcome = degrade.test_and_degrade(chip)
+        assert outcome.shippable
+        assert outcome.pes_mapped_out == {0: [(1, 2)]}
+        assert outcome.rows_lost == {0: 1}
+        # 15 of 16 PE rows remain -> 0.9375 -> the derate-90 bin.
+        assert outcome.compute_fraction == 0.9375
+        assert outcome.bin_name == "derate-90"
+        assert outcome.cores_enabled == CONFIG.n_cores
+
+    def test_core_below_row_floor_is_disabled(self):
+        # Core 0 loses 3 of 4 rows; 1 usable < min_rows_per_core=2 -> the
+        # whole core retires and the chip re-bins on the remaining three.
+        chip = _chip({0: _dead_rows(3)})
+        outcome = degrade.test_and_degrade(chip)
+        assert outcome.shippable
+        assert outcome.cores_enabled == CONFIG.n_cores - 1
+        assert not chip.cores[0].enabled
+        assert outcome.rows_lost[0] == 3
+        # 12 of 16 rows (disabled core contributes nothing) -> derate-75.
+        assert outcome.compute_fraction == 0.75
+        assert outcome.bin_name == "derate-75"
+
+    def test_all_cores_dead_is_scrap(self):
+        chip = _chip({core: _dead_rows(3) for core in range(CONFIG.n_cores)})
+        outcome = degrade.test_and_degrade(chip)
+        assert not outcome.shippable
+        assert outcome.bin_name == "scrap"
+        assert outcome.cores_enabled == 0
+        assert outcome.compute_fraction == 0.0
+
+    def test_below_lowest_bin_is_not_sellable(self):
+        # Every core keeps 2 usable rows (>= the floor, so none disable)
+        # but the chip totals 8/16 rows; tighten the lowest bin above that
+        # and the part must fall through to scrap despite healthy cores.
+        chip = _chip({core: _dead_rows(2) for core in range(CONFIG.n_cores)})
+        policy = BinningPolicy(bins=(("full", 1.0), ("derate-75", 0.75)))
+        outcome = degrade.test_and_degrade(chip, policy)
+        assert outcome.compute_fraction == 0.5
+        assert outcome.cores_enabled == CONFIG.n_cores
+        assert not outcome.shippable
+        assert outcome.bin_name == "scrap"
+
+    def test_min_cores_policy(self):
+        chip = _chip({0: _dead_rows(3)})
+        outcome = degrade.test_and_degrade(chip, BinningPolicy(min_cores=4))
+        assert outcome.cores_enabled == 3
+        assert not outcome.shippable
+        assert outcome.bin_name == "scrap"
+
+
+class TestYieldWithDegradation:
+    def test_population_yield_uplift(self):
+        chips = [
+            _chip(),
+            _chip({0: [PEFault(2, 3, "dead")]}),
+            _chip({core: _dead_rows(3) for core in range(CONFIG.n_cores)}),
+        ]
+        summary = yield_with_degradation(chips)
+        assert summary["chips"] == 3
+        # Strict yield: only the fault-free chip; map-out rescues one more.
+        assert summary["yield_strict"] == 1 / 3
+        assert summary["yield_with_mapout"] == 2 / 3
+        assert summary["bins"] == {"full": 1, "derate-90": 1}
+        assert summary["yield_with_mapout"] >= summary["yield_strict"]
+
+    def test_empty_population(self):
+        summary = yield_with_degradation([])
+        assert summary["chips"] == 0
+        assert summary["yield_strict"] == 0.0
+        assert summary["yield_with_mapout"] == 0.0
+        assert summary["bins"] == {}

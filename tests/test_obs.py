@@ -1,0 +1,239 @@
+"""Unit tests for the observability layer (``repro.obs``).
+
+Spans, metrics, the active-observation stack, Prometheus export, and the
+instrumentation contract the flows rely on: everything no-ops when no
+observation is active, and published counters bit-identically mirror the
+legacy stats dicts when one is.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.atpg.random_gen import random_patterns
+from repro.circuit import generators
+from repro.faults import collapse_faults, full_fault_list
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    Observation,
+    RunReport,
+    Span,
+    metric_id,
+)
+from repro.sim.faultsim import FaultSimulator
+
+
+class TestSpan:
+    def test_nesting_and_tree(self):
+        observation = Observation("root", circuit="c17")
+        with observation.span("a"):
+            with observation.span("b", phase="2"):
+                pass
+            with observation.span("c"):
+                pass
+        observation.finish()
+        tree = observation.root.to_dict()
+        assert tree["name"] == "root"
+        assert tree["labels"] == {"circuit": "c17"}
+        (a,) = tree["children"]
+        assert [child["name"] for child in a["children"]] == ["b", "c"]
+        assert a["children"][0]["labels"] == {"phase": "2"}
+
+    def test_wall_time_monotonic_against_wall_clock(self, monkeypatch):
+        """Span durations come from perf_counter, never the wall clock.
+
+        Regression guard: stats wall times once risked ``time.time()``,
+        which goes backwards across NTP adjustments.  Simulate a clock
+        stepping back mid-span and assert the duration stays sane.
+        """
+        span = Span("guarded")
+        # An adversarial wall clock jumping an hour into the past must not
+        # influence the span; only perf_counter (monotonic) may be used.
+        monkeypatch.setattr(time, "time", lambda: time.perf_counter() - 3600.0)
+        finished = span.finish()
+        assert finished.wall_time_s >= 0.0
+        assert finished.wall_time_s < 60.0  # not an hour, not negative
+
+    def test_finish_is_idempotent_and_clamped(self):
+        span = Span("once")
+        first = span.finish().wall_time_s
+        assert span.finish().wall_time_s == first
+        assert first >= 0.0
+
+    def test_out_of_order_close_recovers(self):
+        observation = Observation("root")
+        outer = observation.span("outer")
+        outer.__enter__()
+        inner = observation.span("inner")
+        inner.__enter__()
+        # Close the OUTER first (a crashed generator mid-tree): the stack
+        # must pop back to root without raising, finishing the inner span.
+        outer.__exit__(None, None, None)
+        assert observation.current_span is observation.root
+        tree = observation.root.to_dict()
+        assert tree["children"][0]["name"] == "outer"
+
+    def test_find_and_annotate(self):
+        observation = Observation("root")
+        with observation.span("phase") as span:
+            span.annotate(patterns=64)
+        found = observation.root.find("phase")
+        assert found is not None
+        assert found.labels == {"patterns": "64"}
+        assert observation.root.find("missing") is None
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram_basics(self):
+        registry = MetricRegistry()
+        registry.counter("events").add(3)
+        registry.counter("events").add(4)
+        registry.gauge("coverage").set(0.5)
+        registry.gauge("coverage").set(0.9)
+        hist = registry.histogram("wall_s", bounds=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        hist.observe(100.0)
+        assert registry.counter("events").value == 7
+        assert registry.gauge("coverage").value == 0.9
+        assert hist.bucket_counts == [1, 1, 1]
+        assert hist.count == 3 and hist.min == 0.5 and hist.max == 100.0
+
+    def test_labels_key_distinct_metrics(self):
+        registry = MetricRegistry()
+        registry.counter("runs", engine="ppsfp").add(1)
+        registry.counter("runs", engine="pool").add(2)
+        assert registry.counter("runs", engine="ppsfp").value == 1
+        assert registry.counter("runs", engine="pool").value == 2
+        assert metric_id("runs", {"engine": "pool"}) == 'runs{engine="pool"}'
+
+    def test_kind_conflict_raises(self):
+        registry = MetricRegistry()
+        registry.counter("x").add(1)
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_histogram_bounds_mismatch_raises(self):
+        left = Histogram(bounds=(1.0, 2.0))
+        right = Histogram(bounds=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_registry_roundtrip(self):
+        registry = MetricRegistry()
+        registry.counter("a", k="v").add(5)
+        registry.gauge("b").set(1.5)
+        registry.histogram("c", bounds=(0.1, 1.0)).observe(0.05)
+        payload = registry.to_dict()
+        # JSON-safe: workers ship this inside stats across process pipes.
+        restored = MetricRegistry.from_dict(json.loads(json.dumps(payload)))
+        assert restored.to_dict() == payload
+
+    def test_add_counters_skips_non_numeric(self):
+        observation = Observation("root")
+        observation.add_counters(
+            "stats",
+            {"events": 3, "engine": "ppsfp", "flag": True, "parts": [1, 2]},
+        )
+        assert observation.counter("stats.events").value == 3
+        assert len(observation.metrics) == 1
+
+    def test_prometheus_export(self):
+        registry = MetricRegistry()
+        registry.counter("faultsim.runs", engine="pool").add(2)
+        registry.gauge("coverage").set(0.25)
+        registry.histogram("wall", bounds=(1.0,)).observe(0.5)
+        text = registry.to_prometheus(prefix="repro")
+        assert "# TYPE repro_faultsim_runs counter" in text
+        assert 'repro_faultsim_runs{engine="pool"} 2' in text
+        assert "repro_coverage 0.25" in text
+        assert 'repro_wall_bucket{le="1"} 1' in text
+        assert 'repro_wall_bucket{le="+Inf"} 1' in text
+        assert "repro_wall_count 1" in text
+
+
+class TestActiveObservation:
+    def test_inactive_is_noop(self):
+        assert obs.current() is None
+        assert obs.counter("x") is None
+        assert obs.gauge("x") is None
+        assert obs.histogram("x") is None
+        obs.add_counters("p", {"a": 1})
+        obs.set_gauge("g", 1.0)
+        obs.merge_metrics({"counters": {}})
+        with obs.span("nothing") as span:
+            assert span is None
+
+    def test_observe_activates_and_pops(self):
+        with obs.observe("outer") as outer:
+            assert obs.current() is outer
+            with obs.observe("inner") as inner:
+                assert obs.current() is inner  # innermost wins
+                obs.counter("n").add(1)
+            assert obs.current() is outer
+            assert outer.counter("n").value == 0  # inner kept its own
+        assert obs.current() is None
+
+    def test_instrumentation_matches_legacy_stats(self):
+        """Published faultsim counters equal the stats dict bit-for-bit."""
+        netlist = generators.random_circuit(6, 40, seed=9)
+        faults, _ = collapse_faults(netlist, full_fault_list(netlist))
+        simulator = FaultSimulator(netlist, cache=None)
+        patterns = random_patterns(simulator.view.num_inputs, 128, seed=9)
+        with obs.observe("run") as observation:
+            result = simulator.simulate(patterns, faults)
+        for key in ("faults_simulated", "events_propagated", "words_evaluated"):
+            assert (
+                observation.counter(f"faultsim.{key}").value
+                == result.stats[key]
+            )
+        assert (
+            observation.counter("faultsim.faults_detected").value
+            == len(result.detected)
+        )
+        assert observation.root.find("faultsim") is not None
+
+    def test_simulation_identical_with_and_without_observation(self):
+        """Observing a run must never change its outcome."""
+        netlist = generators.random_circuit(6, 40, seed=11)
+        faults, _ = collapse_faults(netlist, full_fault_list(netlist))
+        patterns = random_patterns(len(netlist.inputs), 128, seed=11)
+        bare = FaultSimulator(netlist, cache=None).simulate(patterns, faults)
+        with obs.observe("run"):
+            observed = FaultSimulator(netlist, cache=None).simulate(
+                patterns, faults
+            )
+        assert observed.detected == bare.detected
+        assert observed.undetected == bare.undetected
+
+
+class TestRunReport:
+    def test_from_observation_and_counter_value(self):
+        with obs.observe("repro.test", command="test") as observation:
+            obs.counter("a.b").add(41)
+            obs.counter("a.b").add(1)
+        report = RunReport.from_observation(observation, meta={"argv": []})
+        assert report.name == "repro.test"
+        assert report.counter_value("a.b") == 42
+        assert report.counter_value("missing", default=None) is None
+        assert report.schema_version >= 1
+
+    def test_rejects_non_report_payloads(self):
+        with pytest.raises(ValueError):
+            RunReport.from_dict({"hello": "world"})
+        with pytest.raises(ValueError):
+            RunReport.from_dict({"schema_version": "one"})
+
+    def test_prometheus_includes_span_samples(self):
+        with obs.observe("root") as observation:
+            with obs.span("phase"):
+                obs.counter("n").add(1)
+        report = RunReport.from_observation(observation)
+        text = report.to_prometheus()
+        assert 'repro_span_seconds{path="root"}' in text
+        assert 'repro_span_seconds{path="root/phase"}' in text

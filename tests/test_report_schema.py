@@ -1,0 +1,122 @@
+"""Golden-schema pin for the RunReport JSON emitted by ``--report``.
+
+``tests/data/run_report_schema.json`` snapshots the full key tree of a
+small ``repro atpg --circuit c17 --report`` run.  The contract is
+append-only: a code change may ADD key paths (new counters, new span
+labels, new meta fields) but must never remove or rename an existing one
+while ``SCHEMA_VERSION`` stays the same — downstream tooling parses
+these files across commits.
+
+To regenerate after an intentional, additive change, run
+``PYTHONPATH=src python tests/test_report_schema.py --regenerate``
+(the ``__main__`` block below rewrites the golden file in place).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs import SCHEMA_VERSION, RunReport
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "run_report_schema.json"
+
+
+def _generate_report(tmp_path) -> RunReport:
+    """The exact run the golden snapshot was taken from."""
+    out = tmp_path / "run.json"
+    code = main(["atpg", "--circuit", "c17", "--report", str(out)])
+    assert code == 0
+    return RunReport.from_json(out.read_text())
+
+
+def _golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestGoldenSchema:
+    def test_schema_only_adds_keys(self, tmp_path, capsys):
+        golden = _golden()
+        report = _generate_report(tmp_path)
+        current = set(report.key_paths())
+        missing = sorted(set(golden["key_paths"]) - current)
+        assert not missing, (
+            "RunReport schema removed or renamed key paths present in the "
+            f"golden snapshot (append-only contract): {missing}. If this "
+            "removal is intentional, bump SCHEMA_VERSION and regenerate "
+            f"{GOLDEN_PATH.name}."
+        )
+
+    def test_schema_version_matches_golden(self):
+        golden = _golden()
+        assert SCHEMA_VERSION == golden["schema_version"], (
+            "SCHEMA_VERSION changed without regenerating the golden "
+            "snapshot — rerun the generator in tests/data/"
+            "run_report_schema.json's _comment."
+        )
+
+    def test_golden_paths_sorted_and_unique(self):
+        paths = _golden()["key_paths"]
+        assert paths == sorted(set(paths))
+
+    def test_core_paths_present(self, tmp_path, capsys):
+        """The acceptance-critical paths every consumer relies on."""
+        report = _generate_report(tmp_path)
+        paths = set(report.key_paths())
+        for required in (
+            "name",
+            "schema_version",
+            "generated_unix_s",
+            "span.name",
+            "span.wall_time_s",
+            "span.children",
+            "metrics.counters",
+            "metrics.gauges",
+            "meta.argv",
+            "meta.exit_code",
+        ):
+            assert required in paths
+
+
+class TestRoundTrip:
+    def test_report_json_roundtrip(self, tmp_path, capsys):
+        report = _generate_report(tmp_path)
+        clone = RunReport.from_json(report.to_json())
+        assert clone.to_dict() == report.to_dict()
+        assert clone.to_json() == report.to_json()
+        assert clone.key_paths() == report.key_paths()
+        assert clone.counter_value("atpg.faults") == report.counter_value(
+            "atpg.faults"
+        )
+
+    def test_written_file_is_stable_json(self, tmp_path, capsys):
+        """sort_keys means two loads of the same run serialize identically."""
+        out = tmp_path / "run.json"
+        assert main(["atpg", "--circuit", "c17", "--report", str(out)]) == 0
+        text = out.read_text()
+        reserialized = RunReport.from_json(text).to_json() + "\n"
+        assert reserialized == text
+
+
+if __name__ == "__main__":
+    import sys
+    import tempfile
+
+    if "--regenerate" not in sys.argv:
+        sys.exit("usage: python tests/test_report_schema.py --regenerate")
+    with tempfile.TemporaryDirectory() as tmp:
+        report = _generate_report(Path(tmp))
+    golden = {
+        "_comment": (
+            "Golden key tree of a `repro atpg --circuit c17 --report` "
+            "RunReport. Regenerate with `PYTHONPATH=src python "
+            "tests/test_report_schema.py --regenerate`. The schema is "
+            "append-only: new code may ADD paths but never remove or "
+            "rename one without bumping SCHEMA_VERSION."
+        ),
+        "schema_version": report.schema_version,
+        "key_paths": report.key_paths(),
+    }
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2) + "\n")
+    print(f"wrote {len(golden['key_paths'])} paths to {GOLDEN_PATH}")
