@@ -6,15 +6,23 @@ Thin orchestration over the library for the common one-shot jobs:
 ``circuits``   list the built-in benchmark circuits
 ``stats``      print a circuit's structural statistics
 ``atpg``       run the stuck-at ATPG flow, optionally save patterns
-``faultsim``   grade a saved pattern file against a circuit
+``faultsim``   grade a saved pattern file against a circuit (``fsim``)
 ``lbist``      run STUMPS and report the coverage curve
 ``mbist``      print the March coverage matrix
 ``plan``       print the chip-level DFT plan for an accelerator
+``obs diff``   compare two BENCH_*.json reports (median + MAD bands)
+``obs gate``   like diff, but exit 4 on regression (the CI sentinel)
+``obs tail``   live progress of a supervised campaign from its journal
 =============  =====================================================
+
+Every subcommand also takes ``--report FILE`` (RunReport JSON),
+``--profile`` (span tree + counters on stdout), and ``--trace FILE``
+(Chrome trace-event JSON for Perfetto/``chrome://tracing``).
 
 Exit codes: ``0`` success; ``2`` bad arguments (argparse) or campaign
 mismatch; ``3`` a supervised fault-sim campaign completed *partially*
 (unrecoverable partitions — reported coverage is a lower bound);
+``4`` benchmark regression detected by ``obs gate``;
 ``130`` interrupted (Ctrl-C: workers are terminated and the campaign
 journal is flushed before exiting, so ``--resume`` picks up where the
 run died).
@@ -26,8 +34,12 @@ import argparse
 import sys
 from typing import List, Optional
 
+import time
+
 from . import obs
 from .atpg import atpg_table_row, run_atpg
+from .obs import regress
+from .obs.regress import RegressConfig
 from .bist.lbist import StumpsController
 from .bist.mbist import coverage_matrix, format_matrix
 from .circuit import benchmarks
@@ -40,7 +52,11 @@ from .scan.patfile import format_patterns, load_patterns
 from .sim.chaos import ChaosPlan
 from .sim.dispatch import BACKEND_NAMES
 from .sim.faultsim import FaultSimulator
-from .sim.journal import CampaignJournal, JournalMismatchError
+from .sim.journal import (
+    CampaignJournal,
+    JournalMismatchError,
+    read_campaign_progress,
+)
 from .sim.parallel import WORD_WIDTH, WORD_WIDTHS
 from .sim.supervisor import SupervisedPoolBackend, SupervisorConfig
 from .sim.view import CombinationalView
@@ -48,6 +64,8 @@ from .sim.view import CombinationalView
 #: Campaign finished but some partitions were unrecoverable: the printed
 #: coverage is a lower bound, not the final word.
 EXIT_PARTIAL = 3
+#: ``repro obs gate`` found a wall-time regression or counter drift.
+EXIT_REGRESSION = 4
 #: Interrupted by Ctrl-C after clean teardown (POSIX convention: 128+SIGINT).
 EXIT_INTERRUPTED = 130
 
@@ -255,6 +273,82 @@ def _cmd_plan(_args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# repro obs: benchmark comparison, regression gate, live campaign tail
+# ----------------------------------------------------------------------
+
+
+def _regress_config(args) -> RegressConfig:
+    config = RegressConfig(
+        wall_threshold=args.threshold,
+        mad_k=args.mad_k,
+        counter_tolerance=args.counter_tolerance,
+    )
+    config.validate()
+    return config
+
+
+def _cmd_obs_diff(args) -> int:
+    results = regress.compare_paths(args.baseline, args.current, _regress_config(args))
+    for line in regress.format_findings(results, verbose=args.verbose):
+        print(line)
+    return 0
+
+
+def _cmd_obs_gate(args) -> int:
+    results = regress.compare_paths(args.baseline, args.current, _regress_config(args))
+    for line in regress.format_findings(results, verbose=args.verbose):
+        print(line)
+    failing = [
+        finding
+        for findings in results.values()
+        for finding in regress.failures(findings)
+    ]
+    if failing:
+        print(
+            f"REGRESSION GATE FAILED: {len(failing)} failing metric(s) "
+            f"across {sum(1 for f in results.values() if regress.failures(f))} "
+            f"benchmark file(s)",
+            file=sys.stderr,
+        )
+        return EXIT_REGRESSION
+    print("regression gate passed")
+    return 0
+
+
+def _render_progress(progress) -> str:
+    done_list = progress.get("partitions_done", [])
+    done = progress.get("partitions_done_count", len(done_list))
+    total = progress.get("partitions_total", "?")
+    graded = progress.get("faults_graded", 0)
+    faults_total = progress.get("faults_total")
+    line = f"partitions {done}/{total}, faults graded {graded}"
+    if faults_total:
+        line += f"/{faults_total} ({graded / faults_total:.1%})"
+    line += f", detected {progress.get('detected', 0)}"
+    beat = progress.get("last_heartbeat")
+    if beat and "t_wall" in beat:
+        line += f", last heartbeat {max(0.0, time.time() - beat['t_wall']):.1f}s ago"
+    return line
+
+
+def _cmd_obs_tail(args) -> int:
+    while True:
+        progress = read_campaign_progress(args.journal)
+        if not progress["sections"]:
+            print(f"{args.journal}: no campaign sections yet")
+        else:
+            print(_render_progress(progress))
+        total = progress.get("partitions_total")
+        done = progress.get(
+            "partitions_done_count", len(progress.get("partitions_done", []))
+        )
+        complete = total is not None and done >= total
+        if not args.follow or complete:
+            return 0
+        time.sleep(args.interval)
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -347,6 +441,14 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the span tree and counters after the command finishes",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace-event timeline (open in Perfetto or "
+        "chrome://tracing): one track per worker process, instant "
+        "markers for supervisor retries/kills/chaos",
+    )
 
 
 def _add_supervision_arguments(parser: argparse.ArgumentParser) -> None:
@@ -426,7 +528,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_arguments(atpg)
     atpg.set_defaults(handler=_cmd_atpg)
 
-    faultsim = commands.add_parser("faultsim", help="grade a pattern file")
+    faultsim = commands.add_parser(
+        "faultsim", aliases=["fsim"], help="grade a pattern file"
+    )
     _add_circuit_arguments(faultsim)
     faultsim.add_argument("patterns", help="pattern file from `repro atpg -o`")
     _add_backend_arguments(faultsim)
@@ -451,6 +555,76 @@ def build_parser() -> argparse.ArgumentParser:
     plan = commands.add_parser("plan", help="chip-level DFT plan")
     _add_obs_arguments(plan)
     plan.set_defaults(handler=_cmd_plan)
+
+    obs_cmd = commands.add_parser(
+        "obs", help="observability tooling: diff, regression gate, tail"
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    def _add_compare_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "baseline", help="baseline BENCH_*.json file or directory of them"
+        )
+        sub.add_argument(
+            "current", help="current BENCH_*.json file or directory of them"
+        )
+        sub.add_argument(
+            "--threshold",
+            type=_positive_float,
+            default=0.5,
+            help="relative wall-time regression threshold (default: 0.5 = "
+            "+50%% over the baseline median, beyond the noise band)",
+        )
+        sub.add_argument(
+            "--mad-k",
+            type=float,
+            default=3.0,
+            help="noise band half-width in scaled MADs of the baseline "
+            "replicates (default: 3.0)",
+        )
+        sub.add_argument(
+            "--counter-tolerance",
+            type=float,
+            default=0.0,
+            help="relative drift allowed on deterministic work counters "
+            "(default: 0 = exact)",
+        )
+        sub.add_argument(
+            "--verbose", "-v", action="store_true",
+            help="also print metrics that did not change",
+        )
+        _add_obs_arguments(sub)
+
+    diff = obs_sub.add_parser(
+        "diff", help="compare two benchmark reports (median + MAD bands)"
+    )
+    _add_compare_arguments(diff)
+    diff.set_defaults(handler=_cmd_obs_diff)
+
+    gate = obs_sub.add_parser(
+        "gate",
+        help=f"like diff, but exit {EXIT_REGRESSION} on wall-time "
+        "regression or counter drift (the CI sentinel)",
+    )
+    _add_compare_arguments(gate)
+    gate.set_defaults(handler=_cmd_obs_gate)
+
+    tail = obs_sub.add_parser(
+        "tail", help="progress of a supervised campaign from its journal"
+    )
+    tail.add_argument("journal", help="CampaignJournal JSONL file (--resume)")
+    tail.add_argument(
+        "--follow", "-f", action="store_true",
+        help="keep polling until the campaign's partitions are all done",
+    )
+    tail.add_argument(
+        "--interval",
+        type=_positive_float,
+        default=1.0,
+        help="seconds between polls with --follow (default: 1.0)",
+    )
+    _add_obs_arguments(tail)
+    tail.set_defaults(handler=_cmd_obs_tail)
     return parser
 
 
@@ -486,6 +660,9 @@ def _run_observed(args, argv: Optional[List[str]]) -> int:
         with open(args.report, "w") as handle:
             handle.write(report.to_json() + "\n")
         print(f"wrote run report to {args.report}")
+    if getattr(args, "trace", None):
+        obs.write_chrome_trace(args.trace, report)
+        print(f"wrote trace-event timeline to {args.trace}")
     if args.profile:
         _print_profile(observation)
     return code
@@ -495,7 +672,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        if getattr(args, "report", None) or getattr(args, "profile", False):
+        if (
+            getattr(args, "report", None)
+            or getattr(args, "trace", None)
+            or getattr(args, "profile", False)
+        ):
             return _run_observed(args, argv)
         return args.handler(args)
     except KeyboardInterrupt:

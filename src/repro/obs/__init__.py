@@ -32,6 +32,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence
 
+from .events import EventLog, TelemetryEvent, read_jsonl, stitch_payloads
 from .metrics import (
     DEFAULT_BOUNDS,
     Counter,
@@ -42,10 +43,12 @@ from .metrics import (
 )
 from .report import SCHEMA_VERSION, RunReport
 from .span import Observation, Span
+from .trace import chrome_trace, write_chrome_trace
 
 __all__ = [
     "Counter",
     "DEFAULT_BOUNDS",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricRegistry",
@@ -53,16 +56,23 @@ __all__ = [
     "RunReport",
     "SCHEMA_VERSION",
     "Span",
+    "TelemetryEvent",
     "add_counters",
+    "chrome_trace",
     "counter",
     "current",
+    "emit_event",
     "gauge",
     "histogram",
+    "merge_events",
     "merge_metrics",
     "metric_id",
     "observe",
+    "read_jsonl",
     "set_gauge",
     "span",
+    "stitch_payloads",
+    "write_chrome_trace",
 ]
 
 # The active-observation stack.  Deliberately a plain module-level list:
@@ -149,3 +159,25 @@ def set_gauge(name: str, value: object, **labels: str) -> None:
     observation = current()
     if observation is not None and isinstance(value, (int, float)):
         observation.gauge(name, **labels).set(value)
+
+
+def emit_event(kind: str, name: str = "", **kwargs: object) -> None:
+    """Append a telemetry event to the current observation (no-op when
+    inactive).  ``partition=``/``attempt=`` identify sharded work; other
+    keywords land in the event's free-form ``args``."""
+    observation = current()
+    if observation is not None:
+        observation.emit_event(kind, name, **kwargs)
+
+
+def merge_events(payload: Optional[Dict[str, object]]) -> None:
+    """Stitch a shipped worker event payload into the current observation.
+
+    The parent half of the worker-events round trip: workers ship
+    ``EventLog.to_payload()`` envelopes home inside
+    ``FaultSimResult.stats`` and the parent re-bases each onto its own
+    monotonic timeline (see :meth:`~repro.obs.events.EventLog.ingest`).
+    """
+    observation = current()
+    if observation is not None and payload:
+        observation.merge_events(payload)

@@ -325,12 +325,28 @@ def _prom_name(prefix: str, name: str) -> str:
     return f"{prefix}_{flat}" if prefix else flat
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-format label escaping: ``\\``, ``"``, newline.
+
+    Backslash must be escaped first or the other escapes' own
+    backslashes would be doubled.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: Dict[str, str], **extra: str) -> str:
     merged = dict(labels)
     merged.update(extra)
     if not merged:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(merged.items())
+    )
     return "{" + inner + "}"
 
 

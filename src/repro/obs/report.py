@@ -15,9 +15,10 @@ Top-level schema (version 1)::
       "labels": {"command": "atpg", ...},
       "generated_unix_s": 1754500000.0,
       "meta": {...},                      # argv, circuit, free-form
-      "span": {"name", "labels", "wall_time_s", "children": [...]},
+      "span": {"name", "labels", "start_s", "wall_time_s", "children": [...]},
       "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
-      "payload": ...                      # optional: bench rows, etc.
+      "payload": ...,                     # optional: bench rows, etc.
+      "events": {"clock": {...}, "events": [...], "epoch_mono": ...}  # optional
     }
 
 ``to_prometheus`` renders the metrics (plus every span's wall time as a
@@ -52,6 +53,11 @@ class RunReport:
     payload: object = None
     generated_unix_s: float = 0.0
     schema_version: int = SCHEMA_VERSION
+    #: Stitched telemetry event payload (see ``repro.obs.events``):
+    #: ``{"clock": {...}, "events": [...], "epoch_mono": <root span start>}``.
+    #: Empty dict when the run emitted no events; serialized as the
+    #: optional ``events`` key (schema-additive).
+    events_payload: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Construction
@@ -65,6 +71,13 @@ class RunReport:
         payload: object = None,
     ) -> "RunReport":
         observation.finish()
+        events_payload: Dict[str, object] = {}
+        if len(observation.events):
+            events_payload = observation.events.to_payload()
+            # Anchor the event timeline to the span timeline: spans
+            # serialize relative to the root's start, so exporters need
+            # that same zero point in monotonic terms.
+            events_payload["epoch_mono"] = observation.root.start_mono
         return cls(
             name=observation.root.name,
             labels=dict(observation.root.labels),
@@ -73,6 +86,7 @@ class RunReport:
             meta=dict(meta or {}),
             payload=payload,
             generated_unix_s=time.time(),
+            events_payload=events_payload,
         )
 
     # ------------------------------------------------------------------
@@ -91,6 +105,8 @@ class RunReport:
         }
         if self.payload is not None:
             report["payload"] = self.payload
+        if self.events_payload:
+            report["events"] = self.events_payload
         return report
 
     @classmethod
@@ -107,6 +123,7 @@ class RunReport:
             payload=payload.get("payload"),
             generated_unix_s=payload.get("generated_unix_s", 0.0),
             schema_version=version,
+            events_payload=dict(payload.get("events", {})),
         )
 
     def to_json(self, indent: int = 2) -> str:

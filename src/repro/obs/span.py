@@ -19,6 +19,7 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence
 
+from .events import EventLog
 from .metrics import DEFAULT_BOUNDS, MetricRegistry
 
 
@@ -39,6 +40,11 @@ class Span:
     @property
     def finished(self) -> bool:
         return self._elapsed is not None
+
+    @property
+    def start_mono(self) -> float:
+        """``time.perf_counter()`` reading at span open (process-local)."""
+        return self._start
 
     @property
     def wall_time_s(self) -> float:
@@ -65,13 +71,21 @@ class Span:
         self.children.append(span)
         return span
 
-    def to_dict(self) -> Dict[str, object]:
-        """Stable-schema dict: name, labels, wall_time_s, children."""
+    def to_dict(self, epoch: Optional[float] = None) -> Dict[str, object]:
+        """Stable-schema dict: name, labels, start_s, wall_time_s, children.
+
+        ``start_s`` is the span's open time relative to ``epoch`` (the
+        root span's own start when omitted), which is what timeline
+        exporters need to place slices without trusting the wall clock.
+        """
+        if epoch is None:
+            epoch = self._start
         return {
             "name": self.name,
             "labels": dict(self.labels),
+            "start_s": max(0.0, self._start - epoch),
             "wall_time_s": self.wall_time_s,
-            "children": [child.to_dict() for child in self.children],
+            "children": [child.to_dict(epoch) for child in self.children],
         }
 
     def tree_lines(self, indent: int = 0) -> List[str]:
@@ -102,6 +116,7 @@ class Observation:
 
     def __init__(self, name: str, **labels: object):
         self.metrics = MetricRegistry()
+        self.events = EventLog()
         self.root = Span(name, {str(k): str(v) for k, v in labels.items()})
         self._stack: List[Span] = [self.root]
 
@@ -167,3 +182,15 @@ class Observation:
     def merge_metrics(self, payload: Dict[str, object]) -> None:
         """Merge a serialized worker registry (see MetricRegistry.to_dict)."""
         self.metrics.merge_dict(payload)
+
+    # ------------------------------------------------------------------
+    # Telemetry events passthrough
+    # ------------------------------------------------------------------
+
+    def emit_event(self, kind: str, name: str = "", **kwargs: object):
+        """Append a telemetry event to this observation's event log."""
+        return self.events.emit(kind, name, **kwargs)
+
+    def merge_events(self, payload: Optional[Dict[str, object]]) -> int:
+        """Stitch a shipped worker event payload onto this timeline."""
+        return self.events.ingest(payload)

@@ -33,6 +33,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..circuit.netlist import Netlist
 from ..faults.model import StuckAtFault
 from ..obs import MetricRegistry
+from ..obs.events import PARTITION_BEGIN, PARTITION_END, EventLog
 from .faultsim import FaultSimResult, FaultSimulator, _unique
 
 #: Backend names accepted by ``FaultSimulator.simulate(engine=...)`` and the
@@ -223,10 +224,16 @@ def _pool_partition(task: Tuple[int, List[StuckAtFault], bool]):
     index, partition, drop = task
     assert _WORKER_STATE is not None, "pool worker not initialized"
     simulator, patterns, good_chunks = _WORKER_STATE
+    log = EventLog()
+    log.emit(PARTITION_BEGIN, "partition", partition=index, faults=len(partition))
     partial = simulator._simulate_ppsfp(
         patterns, partition, drop, good_chunks=good_chunks
     )
     partial.stats["metrics"] = partition_metrics(partial)
+    log.emit(
+        PARTITION_END, "partition", partition=index, detected=len(partial.detected)
+    )
+    partial.stats["worker_events"] = log.to_payload()
     return index, partial
 
 
@@ -280,11 +287,25 @@ class PoolBackend(FaultSimBackend):
         elif jobs == 1 or len(tasks) == 1:
             for task in tasks:
                 t0 = time.perf_counter()
+                log = EventLog()
+                log.emit(
+                    PARTITION_BEGIN,
+                    "partition",
+                    partition=task[0],
+                    faults=len(task[1]),
+                )
                 index, partial = self._run_inline(simulator, patterns, task, good_chunks)
                 partial.stats["wall_time_s"] = time.perf_counter() - t0
                 # After the wall-time override, so the histogram sees the
                 # same value the partition stats report.
                 partial.stats["metrics"] = partition_metrics(partial)
+                log.emit(
+                    PARTITION_END,
+                    "partition",
+                    partition=index,
+                    detected=len(partial.detected),
+                )
+                partial.stats["worker_events"] = log.to_payload()
                 partials.append((index, partial))
         else:
             context = self._context()
@@ -333,11 +354,14 @@ class PoolBackend(FaultSimBackend):
     ):
         per_partition: List[Dict[str, object]] = []
         merged = MetricRegistry()
+        event_payloads: List[Dict[str, object]] = []
         for index, partial in sorted(partials, key=lambda pair: pair[0]):
             stats = partial.stats
             # Journal-replayed partials may predate worker metrics; rebuild
             # their registry from the kept stats so the merge stays total.
             merged.merge_dict(stats.get("metrics") or partition_metrics(partial))
+            if stats.get("worker_events"):
+                event_payloads.append(stats["worker_events"])
             per_partition.append(
                 {
                     "partition": index,
@@ -368,6 +392,8 @@ class PoolBackend(FaultSimBackend):
             metrics=merged.to_dict(),
             wall_time_s=time.perf_counter() - start_time,
         )
+        if event_payloads:
+            result.stats["events"] = event_payloads
 
 
 _BACKENDS = {

@@ -244,6 +244,11 @@ class FaultSimulator:
             observation.counter("supervisor.failed_partitions").add(
                 len(stats["failed_partitions"])
             )
+        # Worker/supervisor telemetry events come home the same way the
+        # metric registries do: shipped payloads in stats, stitched onto
+        # the observation's own monotonic timeline.
+        for payload in stats.get("events", ()):
+            observation.merge_events(payload)
         return result
 
     # ------------------------------------------------------------------

@@ -30,6 +30,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -201,6 +202,18 @@ class CampaignJournal:
         """Durably append one completed partition result."""
         self._append(_serialize_partial(index, partial))
 
+    def heartbeat(self, **fields: object) -> None:
+        """Append one progress line (``kind: heartbeat``) to the journal.
+
+        The supervisor flushes campaign-level progress gauges
+        (``faults_graded``/``faults_total``, partitions done) here on
+        every shard flush, which is what lets ``repro obs tail`` show a
+        running campaign's progress from the outside.  Readers that only
+        care about resume (``completed_for``) skip unknown kinds, so
+        heartbeats are free to evolve.
+        """
+        self._append({"kind": "heartbeat", "t_wall": time.time(), **fields})
+
     def _append(self, line: Dict[str, object]) -> None:
         if self._handle is None:
             self._handle = open(self.path, "a")
@@ -222,3 +235,70 @@ class CampaignJournal:
 
     def __exit__(self, *_exc) -> None:
         self.close()
+
+
+def read_campaign_progress(path: str) -> Dict[str, object]:
+    """Live progress of the *last* campaign section in a journal file.
+
+    Built for ``repro obs tail``: reads the journal exactly like resume
+    does (torn trailing line tolerated), keeps the final campaign — all
+    trailing sections that share the last header's key, so a resumed
+    run's fresh (possibly empty) section still counts the shards its
+    predecessors checkpointed — and summarizes it::
+
+        {
+          "path": ..., "sections": N, "key": {...} | None,
+          "partitions_done": [indices...],
+          "faults_graded": <sum of graded shard sizes>,
+          "detected": <sum of detections so far>,
+          "heartbeats": {partition_or_-1: <last heartbeat fields>},
+          "last_heartbeat": {...} | None,
+        }
+
+    Heartbeat lines override the summed counts when present (they carry
+    the supervisor's own ``faults_graded``/``faults_total`` gauges, which
+    include journal-skipped shards a bare partition count would miss).
+    """
+    journal = CampaignJournal(path)
+    sections = 0
+    key: Optional[Dict[str, object]] = None
+    partitions: Dict[int, Dict[str, object]] = {}
+    heartbeats: Dict[int, Dict[str, object]] = {}
+    last_heartbeat: Optional[Dict[str, object]] = None
+    for line in journal._read_lines():
+        kind = line.get("kind")
+        if kind == "header":
+            sections += 1
+            new_key = line.get("key")
+            if sections == 1 or new_key != key:
+                partitions = {}
+                heartbeats = {}
+                last_heartbeat = None
+            key = new_key
+        elif kind == "partition":
+            partitions[int(line["index"])] = {
+                "faults": int(line.get("total", 0)),
+                "detected": len(line.get("detected", ())),
+            }
+        elif kind == "heartbeat":
+            fields = {k: v for k, v in line.items() if k != "kind"}
+            partition = fields.get("partition")
+            heartbeats[int(partition) if partition is not None else -1] = fields
+            last_heartbeat = fields
+    progress: Dict[str, object] = {
+        "path": str(path),
+        "sections": sections,
+        "key": key,
+        "partitions_done": sorted(partitions),
+        "faults_graded": sum(p["faults"] for p in partitions.values()),
+        "detected": sum(p["detected"] for p in partitions.values()),
+        "heartbeats": heartbeats,
+        "last_heartbeat": last_heartbeat,
+    }
+    if last_heartbeat is not None:
+        for gauge in ("faults_graded", "faults_total", "partitions_total"):
+            if gauge in last_heartbeat:
+                progress[gauge] = last_heartbeat[gauge]
+        if "partitions_done" in last_heartbeat:
+            progress["partitions_done_count"] = last_heartbeat["partitions_done"]
+    return progress

@@ -49,6 +49,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..faults.model import StuckAtFault
 from ..obs import MetricRegistry
+from ..obs.events import (
+    CHAOS,
+    CRASH,
+    HEARTBEAT,
+    INLINE_FALLBACK,
+    INVALID,
+    JOURNAL_SKIP,
+    PARTITION_BEGIN,
+    PARTITION_END,
+    RETRY,
+    TIMEOUT,
+    EventLog,
+)
 from .chaos import ChaosPlan
 from .dispatch import (
     FaultSimBackend,
@@ -137,6 +150,11 @@ def _supervised_worker(conn, index, attempt, shard, drop, netlist, patterns,
     """
     status, payload = "error", "worker exited without result"
     try:
+        log = EventLog()
+        log.emit(
+            PARTITION_BEGIN, "partition",
+            partition=index, attempt=attempt, faults=len(shard),
+        )
         if chaos is not None:
             chaos.execute_pre(index, attempt)
         simulator = FaultSimulator(netlist, word_width=word_width, cache=None)
@@ -148,6 +166,11 @@ def _supervised_worker(conn, index, attempt, shard, drop, netlist, patterns,
         # After chaos corruption, so the registry describes the partial as
         # actually shipped (a rejected partial's metrics die with it).
         partial.stats["metrics"] = partition_metrics(partial)
+        log.emit(
+            PARTITION_END, "partition",
+            partition=index, attempt=attempt, detected=len(partial.detected),
+        )
+        partial.stats["worker_events"] = log.to_payload()
         status, payload = "ok", partial
     except BaseException as exc:  # noqa: BLE001 - report, don't die silently
         status, payload = "error", f"{type(exc).__name__}: {exc}"
@@ -234,6 +257,10 @@ class SupervisedPoolBackend(FaultSimBackend):
         attempts_used: Dict[int, int] = {}
         results: Dict[int, FaultSimResult] = {}
         failed: List[Dict[str, object]] = []
+        metrics_lost: Dict[int, int] = {}
+        # The supervisor's own telemetry: retry/kill/chaos instants plus
+        # campaign heartbeats, stitched with the workers' shipped logs.
+        events = EventLog()
 
         journal_skipped = 0
         if self.journal is not None and shards:
@@ -247,6 +274,7 @@ class SupervisedPoolBackend(FaultSimBackend):
                     results[index] = partial
                     sources[index] = "journal"
                     journal_skipped += 1
+                    events.emit(JOURNAL_SKIP, "journal_skip", partition=index)
 
         pending = [
             (index, 0, 0.0)  # (partition, attempt, eligible-at monotonic time)
@@ -257,6 +285,7 @@ class SupervisedPoolBackend(FaultSimBackend):
             self._supervise(
                 simulator, patterns, good_chunks, shards, drop, jobs, pending,
                 results, failed, counters, sources, attempts_used,
+                events, metrics_lost,
             )
 
         result = merge_results(
@@ -265,7 +294,7 @@ class SupervisedPoolBackend(FaultSimBackend):
         self._fill_stats(
             result, results, failed, shards, jobs, good_seconds, good_words,
             start_time, counters, sources, attempts_used, journal_skipped,
-            simulator,
+            simulator, events, metrics_lost,
         )
         return result
 
@@ -275,11 +304,12 @@ class SupervisedPoolBackend(FaultSimBackend):
 
     def _supervise(
         self, simulator, patterns, good_chunks, shards, drop, jobs, pending,
-        results, failed, counters, sources, attempts_used,
+        results, failed, counters, sources, attempts_used, events, metrics_lost,
     ) -> None:
         config = self.config
         running: List[_Slot] = []
         n_patterns = len(patterns)
+        faults_total = sum(len(shard) for shard in shards)
 
         def record(index: int, partial: FaultSimResult, source: str, attempt: int):
             results[index] = partial
@@ -287,17 +317,42 @@ class SupervisedPoolBackend(FaultSimBackend):
             attempts_used[index] = attempt + 1
             if self.journal is not None:
                 self.journal.record(index, partial)
+            # Campaign heartbeat on every shard flush: the live progress
+            # gauges `repro obs tail` reads from the journal and the
+            # trace exporter renders as a counter series.
+            graded = sum(r.total_faults for r in results.values())
+            events.emit(
+                HEARTBEAT, "progress",
+                partition=index,
+                faults_graded=graded,
+                faults_total=faults_total,
+                partitions_done=len(results),
+                partitions_total=len(shards),
+            )
+            if self.journal is not None:
+                self.journal.heartbeat(
+                    partition=index,
+                    source=source,
+                    faults_graded=graded,
+                    faults_total=faults_total,
+                    partitions_done=len(results),
+                    partitions_total=len(shards),
+                )
 
         def fail(slot: _Slot, reason: str) -> None:
             attempt = slot.attempt
             if attempt < config.max_retries:
                 counters["retries"] += 1
+                events.emit(
+                    RETRY, "retry",
+                    partition=slot.index, attempt=attempt, reason=reason[:200],
+                )
                 eligible = time.monotonic() + config.backoff_s * (2 ** attempt)
                 pending.append((slot.index, attempt + 1, eligible))
                 return
             self._finish_poisoned(
                 simulator, patterns, good_chunks, shards, drop, slot.index,
-                attempt, reason, record, failed, counters,
+                attempt, reason, record, failed, counters, events,
             )
 
         try:
@@ -307,6 +362,16 @@ class SupervisedPoolBackend(FaultSimBackend):
                 pending.sort(key=lambda item: (item[2], item[0]))
                 while len(running) < jobs and pending and pending[0][2] <= now:
                     index, attempt, _ = pending.pop(0)
+                    if self.chaos is not None:
+                        mode = self.chaos.mode_for(index, attempt)
+                        if mode is not None:
+                            # The parent knows the schedule, so the
+                            # injection lands on the timeline even when
+                            # the worker dies before reporting anything.
+                            events.emit(
+                                CHAOS, f"chaos:{mode}",
+                                partition=index, attempt=attempt, mode=mode,
+                            )
                     running.append(
                         self._spawn(
                             simulator, patterns, good_chunks, shards[index],
@@ -329,12 +394,36 @@ class SupervisedPoolBackend(FaultSimBackend):
                             record(slot.index, payload, "worker", slot.attempt)
                         else:
                             counters["invalid_results"] += 1
+                            metrics_lost[slot.index] = (
+                                metrics_lost.get(slot.index, 0) + 1
+                            )
+                            events.emit(
+                                INVALID, "invalid_result",
+                                partition=slot.index, attempt=slot.attempt,
+                                reason=reason,
+                            )
                             fail(slot, f"invalid result: {reason}")
                     else:
+                        # The attempt did real work whose metrics died
+                        # with the worker: note the loss so merged totals
+                        # can be reported as a stated lower bound.
+                        metrics_lost[slot.index] = (
+                            metrics_lost.get(slot.index, 0) + 1
+                        )
                         if status == "timeout":
                             counters["timeouts"] += 1
+                            events.emit(
+                                TIMEOUT, "timeout_kill",
+                                partition=slot.index, attempt=slot.attempt,
+                                deadline_s=self.config.timeout_s,
+                            )
                         else:
                             counters["worker_crashes"] += 1
+                            events.emit(
+                                CRASH, "worker_crash",
+                                partition=slot.index, attempt=slot.attempt,
+                                reason=str(payload)[:200],
+                            )
                         fail(slot, payload)
                 if not progressed:
                     time.sleep(config.poll_interval_s)
@@ -400,13 +489,17 @@ class SupervisedPoolBackend(FaultSimBackend):
 
     def _finish_poisoned(
         self, simulator, patterns, good_chunks, shards, drop, index,
-        attempt, reason, record, failed, counters,
+        attempt, reason, record, failed, counters, events,
     ) -> None:
         """Pool retries exhausted: inline fallback, else mark failed."""
         shard = shards[index]
         if self.config.inline_fallback:
             counters["inline_fallbacks"] += 1
             inline_attempt = attempt + 1
+            events.emit(
+                INLINE_FALLBACK, "inline_fallback",
+                partition=index, attempt=inline_attempt, reason=reason[:200],
+            )
             try:
                 if self.chaos is not None:
                     self.chaos.execute_pre(index, inline_attempt, inline=True)
@@ -475,30 +568,44 @@ class SupervisedPoolBackend(FaultSimBackend):
     def _fill_stats(
         self, result, results, failed, shards, jobs, good_seconds, good_words,
         start_time, counters, sources, attempts_used, journal_skipped,
-        simulator,
+        simulator, events, metrics_lost,
     ) -> None:
         per_partition: List[Dict[str, object]] = []
         merged = MetricRegistry()
+        event_payloads: List[Dict[str, object]] = []
+        if len(events):
+            event_payloads.append(events.to_payload())
         for index in sorted(results):
             partial = results[index]
             stats = partial.stats
             # Journal-replayed partials may predate worker metrics; rebuild
             # their registry from the kept stats so the merge stays total.
             merged.merge_dict(stats.get("metrics") or partition_metrics(partial))
-            per_partition.append(
-                {
-                    "partition": index,
-                    "faults": len(shards[index]),
-                    "detected": len(partial.detected),
-                    "events_propagated": stats.get("events_propagated", 0),
-                    "words_evaluated": stats.get("words_evaluated", 0),
-                    "wall_time_s": stats.get("wall_time_s", 0.0),
-                    "source": sources.get(index, "worker"),
-                    "attempts": attempts_used.get(index, 1),
-                }
-            )
+            if stats.get("worker_events"):
+                event_payloads.append(stats["worker_events"])
+            row = {
+                "partition": index,
+                "faults": len(shards[index]),
+                "detected": len(partial.detected),
+                "events_propagated": stats.get("events_propagated", 0),
+                "words_evaluated": stats.get("words_evaluated", 0),
+                "wall_time_s": stats.get("wall_time_s", 0.0),
+                "source": sources.get(index, "worker"),
+                "attempts": attempts_used.get(index, 1),
+            }
+            if metrics_lost.get(index):
+                # Timeout-killed / crashed attempts did work whose
+                # metrics never arrived: state it, don't hide it.
+                row["metrics_lost_attempts"] = metrics_lost[index]
+            per_partition.append(row)
         walls = [p["wall_time_s"] for p in per_partition if p["wall_time_s"] > 0]
         imbalance = (max(walls) / (sum(walls) / len(walls))) if walls else 1.0
+        total_lost = sum(metrics_lost.values())
+        if total_lost:
+            # Make the loss visible *inside* the merged registry, next to
+            # the counters it undercuts: consumers see the totals are a
+            # lower bound without cross-referencing the partition list.
+            merged.counter("faultsim.metrics_lost_attempts").add(total_lost)
         result.stats.update(
             engine=self.name,
             jobs=jobs,
@@ -521,6 +628,11 @@ class SupervisedPoolBackend(FaultSimBackend):
             metrics=merged.to_dict(),
             **counters,
         )
+        if total_lost:
+            result.stats["metrics_lost_attempts"] = total_lost
+            result.stats["metrics_lower_bound"] = True
+        if event_payloads:
+            result.stats["events"] = event_payloads
         if self.journal is not None:
             result.stats["journal_path"] = self.journal.path
         if failed:

@@ -237,3 +237,130 @@ class TestRunReport:
         text = report.to_prometheus()
         assert 'repro_span_seconds{path="root"}' in text
         assert 'repro_span_seconds{path="root/phase"}' in text
+
+
+class TestDeepTrees:
+    """Span.find / tree_lines on deep trees (the --profile rendering)."""
+
+    DEPTH = 200
+
+    def _deep_observation(self) -> Observation:
+        observation = Observation("root")
+        span = observation.root
+        for level in range(self.DEPTH):
+            span = span.child(f"level{level}", {"depth": str(level)})
+        observation.finish()
+        return observation
+
+    def test_find_reaches_every_level(self):
+        observation = self._deep_observation()
+        for level in (0, 1, self.DEPTH // 2, self.DEPTH - 1):
+            found = observation.root.find(f"level{level}")
+            assert found is not None
+            assert found.labels["depth"] == str(level)
+        assert observation.root.find(f"level{self.DEPTH}") is None
+
+    def test_find_is_depth_first_on_duplicates(self):
+        root = Span("root")
+        left = root.child("branch")
+        left_deep = left.child("dup")
+        right = root.child("dup")
+        assert root.find("dup") is left_deep  # depth-first, not breadth
+        assert right is not left_deep
+
+    def test_tree_lines_one_line_per_span_with_indent(self):
+        observation = self._deep_observation()
+        lines = observation.root.tree_lines()
+        assert len(lines) == self.DEPTH + 1
+        # Indentation tracks depth exactly; labels render on every line.
+        for depth, line in enumerate(lines):
+            assert line.startswith("  " * depth)
+            assert "ms" in line
+        assert "[depth=0]" in lines[1]
+        assert f"[depth={self.DEPTH - 1}]" in lines[-1]
+
+    def test_wide_tree_find_and_render(self):
+        root = Span("root")
+        for index in range(300):
+            root.child(f"child{index}")
+        root.finish()
+        assert root.find("child299") is not None
+        assert len(root.tree_lines()) == 301
+
+
+class TestObserveStackDiscipline:
+    """observe() nesting when observations finish out of nesting order."""
+
+    def test_out_of_order_exit_removes_correct_observation(self):
+        outer_cm = obs.observe("outer")
+        outer = outer_cm.__enter__()
+        inner_cm = obs.observe("inner")
+        inner = inner_cm.__enter__()
+        # Close the OUTER observation first: _ACTIVE must drop exactly the
+        # outer entry (the `.remove` path), leaving the inner one current.
+        outer_cm.__exit__(None, None, None)
+        assert obs.current() is inner
+        assert outer.root.finished
+        inner_cm.__exit__(None, None, None)
+        assert obs.current() is None
+        assert inner.root.finished
+
+    def test_double_exit_is_harmless(self):
+        cm = obs.observe("once")
+        observation = cm.__enter__()
+        cm.__exit__(None, None, None)
+        assert obs.current() is None
+        # A second exit (cleanup paths racing) must not raise or corrupt
+        # the stack for a fresh observation.
+        assert not cm.__exit__(None, None, None)  # generator already closed
+        assert obs.current() is None
+        with obs.observe("fresh") as fresh:
+            assert obs.current() is fresh
+        assert obs.current() is None
+
+    def test_interleaved_counters_land_on_innermost(self):
+        a_cm, b_cm = obs.observe("a"), obs.observe("b")
+        a = a_cm.__enter__()
+        b = b_cm.__enter__()
+        obs.counter("n").add(1)
+        a_cm.__exit__(None, None, None)  # out of order
+        obs.counter("n").add(10)  # still the innermost live observation: b
+        b_cm.__exit__(None, None, None)
+        assert a.counter("n").value == 0
+        assert b.counter("n").value == 11
+
+
+class TestPrometheusLabelEscaping:
+    """Golden pin of the text-exposition escaping and label ordering."""
+
+    def test_escapes_backslash_quote_newline(self):
+        registry = MetricRegistry()
+        registry.counter("paths", path='C:\\tmp\\"x"\nnext').add(1)
+        text = registry.to_prometheus(prefix="repro")
+        assert (
+            'repro_paths{path="C:\\\\tmp\\\\\\"x\\"\\nnext"} 1' in text
+        )
+        # The physical output line must stay a single line.
+        (sample,) = [l for l in text.splitlines() if l.startswith("repro_paths")]
+        assert "\n" not in sample
+
+    def test_labels_sorted_deterministically(self):
+        registry = MetricRegistry()
+        registry.counter("m", zeta="1", alpha="2", mid="3").add(1)
+        text = registry.to_prometheus(prefix="repro")
+        assert 'repro_m{alpha="2",mid="3",zeta="1"} 1' in text
+
+    def test_golden_report_export(self):
+        """Pin the full to_prometheus output for a labeled report."""
+        with obs.observe("root") as observation:
+            observation.counter("files", file='a"b\\c').add(2)
+        report = RunReport.from_observation(observation)
+        report.span["wall_time_s"] = 0.25  # fixed for the golden text
+        report.span["children"] = []
+        golden = (
+            "# TYPE repro_files counter\n"
+            'repro_files{file="a\\"b\\\\c"} 2\n'
+            "# TYPE repro_span_seconds gauge\n"
+            'repro_span_seconds{path="root"} 0.25\n'
+        )
+        assert report.to_prometheus() == golden
