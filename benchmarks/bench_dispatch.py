@@ -90,10 +90,25 @@ def _run_all():
     return rows, detail
 
 
+# Acceptance: 4-worker pool beats single-process PPSFP by this factor on
+# the largest circuit.  Only meaningful with real parallelism, so the
+# assertion is capability-gated on the core count — and the gate's verdict
+# is recorded in the envelope instead of vanishing into stdout.
+REQUIRED_CORES = 4
+MIN_POOL_SPEEDUP = 1.5
+
+
 def test_dispatch_backend_scaling(benchmark):
     rows, detail = run_once(benchmark, _run_all)
     print_table("Dispatch: serial vs ppsfp vs pool", rows)
     cores = os.cpu_count() or 1
+    asserted = cores >= REQUIRED_CORES
+    skipped_reason = (
+        None
+        if asserted
+        else f"host has {cores} CPU core(s), speedup assertion needs "
+        f">={REQUIRED_CORES} for real parallelism"
+    )
     path = write_bench_json(
         "dispatch",
         {
@@ -102,15 +117,20 @@ def test_dispatch_backend_scaling(benchmark):
             "pool_jobs": list(POOL_JOBS),
             "rows": rows,
             "pool_detail": detail,
+            "speedup_assertion": {
+                "cpu_count": cores,
+                "required_cores": REQUIRED_CORES,
+                "min_speedup_x": MIN_POOL_SPEEDUP,
+                "asserted": asserted,
+                "skipped_reason": skipped_reason,
+            },
         },
     )
     print(f"wrote {path} (cpu_count={cores})")
     for row in rows:
         if row["serial_s"] is not None:
             assert row["serial_s"] > row["ppsfp_s"]  # PPSFP wins vs serial
-    if cores >= 4:
-        # Acceptance: 4-worker pool beats single-process PPSFP by >1.5x on
-        # the largest circuit.  Only meaningful with real parallelism.
-        assert rows[-1]["pool_speedup_x"] > 1.5
+    if asserted:
+        assert rows[-1]["pool_speedup_x"] > MIN_POOL_SPEEDUP
     else:
-        print(f"(pool speedup assertion skipped: only {cores} CPU core(s))")
+        print(f"(pool speedup assertion skipped: {skipped_reason})")

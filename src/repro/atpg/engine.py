@@ -128,6 +128,7 @@ def run_atpg(
     jobs: Optional[int] = None,
     partitions: Optional[int] = None,
     word_width: int = WORD_WIDTH,
+    kernel: str = "python",
     podem_time_budget_s: Optional[float] = None,
     journal: Optional[str] = None,
 ) -> AtpgResult:
@@ -150,15 +151,18 @@ def run_atpg(
     clock, so one pathological fault aborts (counted separately in
     :meth:`AtpgResult.summary` — aborted is not untestable) instead of
     stalling the campaign.  ``word_width`` sets the patterns packed per
-    simulation word (results are identical for every width).  The per-cube
-    dynamic-dropping sims inside phase 2 always run single-process PPSFP:
-    they grade one pattern at a time, where pool dispatch is pure overhead.
+    simulation word and ``kernel`` the gate-evaluation backend
+    (``"python"`` bigints or ``"numpy"`` uint64 lanes — see
+    :mod:`repro.sim.npsim`); results are identical for every width and
+    kernel.  The per-cube dynamic-dropping sims inside phase 2 always run
+    single-process PPSFP: they grade one pattern at a time, where pool
+    dispatch is pure overhead.
     """
     start = time.perf_counter()
     netlist.finalize()
     if faults is None:
         faults, _ = collapse_faults(netlist, full_fault_list(netlist))
-    simulator = FaultSimulator(netlist, word_width=word_width)
+    simulator = FaultSimulator(netlist, word_width=word_width, kernel=kernel)
     rng = random.Random(seed)
     result = AtpgResult(total_faults=len(faults))
     remaining = list(faults)

@@ -57,7 +57,7 @@ from .sim.journal import (
     JournalMismatchError,
     read_campaign_progress,
 )
-from .sim.parallel import WORD_WIDTH, WORD_WIDTHS
+from .sim.parallel import KERNELS, WORD_WIDTH, WORD_WIDTHS
 from .sim.supervisor import SupervisedPoolBackend, SupervisorConfig
 from .sim.view import CombinationalView
 
@@ -120,6 +120,7 @@ def _cmd_atpg(args) -> int:
         jobs=args.jobs,
         partitions=args.partitions,
         word_width=args.word_width,
+        kernel=args.kernel,
         podem_time_budget_s=args.podem_budget,
         journal=args.resume,
     )
@@ -173,7 +174,9 @@ def _cmd_faultsim(args) -> int:
     netlist = _load_circuit(_circuit_spec(args))
     pattern_file = load_patterns(args.patterns)
     faults, _ = collapse_faults(netlist, full_fault_list(netlist))
-    simulator = FaultSimulator(netlist, word_width=args.word_width)
+    simulator = FaultSimulator(
+        netlist, word_width=args.word_width, kernel=args.kernel
+    )
     expected = simulator.view.num_inputs
     for position, pattern in enumerate(pattern_file.patterns):
         if len(pattern) != expected:
@@ -249,7 +252,9 @@ def _cmd_faultsim(args) -> int:
 
 def _cmd_lbist(args) -> int:
     netlist = _load_circuit(_circuit_spec(args))
-    controller = StumpsController(netlist, word_width=args.word_width)
+    controller = StumpsController(
+        netlist, word_width=args.word_width, kernel=args.kernel
+    )
     result = controller.run(args.patterns)
     for point in result.coverage_points:
         print(f"{int(point['patterns']):6d} patterns: {point['coverage']:.4f}")
@@ -380,6 +385,16 @@ def _add_word_width_argument(parser: argparse.ArgumentParser) -> None:
             f"(default: {WORD_WIDTH}; characterized ladder: "
             f"{'/'.join(str(w) for w in WORD_WIDTHS)}; results are "
             "bit-identical for every width)"
+        ),
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=list(KERNELS),
+        default="python",
+        help=(
+            "gate-evaluation kernel: 'python' bigint words or 'numpy' "
+            "uint64 lane arrays (default: python; results are "
+            "bit-identical for both)"
         ),
     )
 

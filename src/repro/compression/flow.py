@@ -91,6 +91,7 @@ def run_compressed_atpg(
     backend: str = "ppsfp",
     jobs: Optional[int] = None,
     word_width: int = WORD_WIDTH,
+    kernel: str = "python",
 ) -> CompressedAtpgResult:
     """Generate compressed patterns with fault dropping on decompressed data.
 
@@ -104,15 +105,16 @@ def run_compressed_atpg(
     against the full fault universe on the chosen ``backend``/``jobs``
     (see :mod:`repro.sim.dispatch`) — the cross-check a tester sign-off
     would run — filling ``graded_coverage`` and ``grading_stats``.
-    ``word_width`` sets the patterns packed per simulation word for every
-    fault-simulation pass in the flow.
+    ``word_width`` sets the patterns packed per simulation word and
+    ``kernel`` the gate-evaluation backend (see :mod:`repro.sim.npsim`)
+    for every fault-simulation pass in the flow.
     """
     start = time.perf_counter()
     design = edt.design
     netlist = design.netlist
     if faults is None:
         faults, _ = collapse_faults(netlist, full_fault_list(netlist))
-    simulator = FaultSimulator(netlist, word_width=word_width)
+    simulator = FaultSimulator(netlist, word_width=word_width, kernel=kernel)
     rng = random.Random(seed)
     result = CompressedAtpgResult(total_faults=len(faults))
     remaining = list(faults)

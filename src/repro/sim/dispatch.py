@@ -34,6 +34,7 @@ from ..circuit.netlist import Netlist
 from ..faults.model import StuckAtFault
 from ..obs import MetricRegistry
 from ..obs.events import PARTITION_BEGIN, PARTITION_END, EventLog
+from . import shm
 from .faultsim import FaultSimResult, FaultSimulator, _unique
 
 #: Backend names accepted by ``FaultSimulator.simulate(engine=...)`` and the
@@ -204,18 +205,26 @@ class PpsfpBackend(FaultSimBackend):
 # ----------------------------------------------------------------------
 
 # Per-worker state installed by the pool initializer: the worker's own
-# FaultSimulator plus the pattern set and shared good-machine response.
-_WORKER_STATE: Optional[Tuple[FaultSimulator, Sequence, Sequence]] = None
+# FaultSimulator, the campaign pattern count, the shared good-machine
+# response (mapped zero-copy from the arena), and the arena itself —
+# kept referenced so the mapping outlives every partition this worker
+# runs.
+_WORKER_STATE: Optional[Tuple[FaultSimulator, int, Sequence, object]] = None
 
 
-def _pool_initializer(netlist, patterns, good_chunks, word_width) -> None:
+def _pool_initializer(netlist, word_width, kernel, arena_spec, meta) -> None:
     # Workers must chunk patterns exactly like the parent that produced
-    # ``good_chunks``, so the parent's word width travels with the state.
+    # the good response, so the parent's word width and kernel travel
+    # with the state.  Workers never receive the pattern list: PPSFP
+    # partitions only need the pattern count and the shared good blocks,
+    # which they map read-only from the arena.
     global _WORKER_STATE
+    arena, good_chunks = shm.attach_campaign(arena_spec, meta)
     _WORKER_STATE = (
-        FaultSimulator(netlist, word_width=word_width),
-        patterns,
+        FaultSimulator(netlist, word_width=word_width, kernel=kernel),
+        meta["n_patterns"],
         good_chunks,
+        arena,
     )
 
 
@@ -223,11 +232,11 @@ def _pool_partition(task: Tuple[int, List[StuckAtFault], bool]):
     """Run one fault partition inside a worker; returns a picklable pair."""
     index, partition, drop = task
     assert _WORKER_STATE is not None, "pool worker not initialized"
-    simulator, patterns, good_chunks = _WORKER_STATE
+    simulator, n_patterns, good_chunks, _arena = _WORKER_STATE
     log = EventLog()
     log.emit(PARTITION_BEGIN, "partition", partition=index, faults=len(partition))
     partial = simulator._simulate_ppsfp(
-        patterns, partition, drop, good_chunks=good_chunks
+        None, partition, drop, good_chunks=good_chunks, n_patterns=n_patterns
     )
     partial.stats["metrics"] = partition_metrics(partial)
     log.emit(
@@ -271,55 +280,74 @@ class PoolBackend(FaultSimBackend):
             else default_partition_count(len(universe))
         )
         shards = partition_faults(universe, n_partitions, self.seed)
+        tasks = [(index, shard, drop) for index, shard in enumerate(shards)]
+        fan_out = bool(tasks) and jobs > 1 and len(tasks) > 1
 
         good_start = time.perf_counter()
         parallel = simulator.parallel
         passes0, hits0 = parallel.evaluations, parallel.cache_hits
-        good_chunks = simulator.good_response(patterns)
+        arena = meta = good_chunks = None
+        if fan_out:
+            # The packed pattern matrix and good response go into one
+            # shared-memory arena that every worker maps read-only —
+            # nothing campaign-sized rides the initializer pickle.
+            arena, meta = shm.pack_campaign(simulator, patterns)
+        else:
+            good_chunks = simulator.good_response(patterns)
         good_words = (parallel.evaluations - passes0) * parallel.num_scheduled
         good_hits = parallel.cache_hits - hits0
         good_seconds = time.perf_counter() - good_start
 
-        tasks = [(index, shard, drop) for index, shard in enumerate(shards)]
         partials: List[Tuple[int, FaultSimResult]] = []
-        if not tasks:
-            pass
-        elif jobs == 1 or len(tasks) == 1:
-            for task in tasks:
-                t0 = time.perf_counter()
-                log = EventLog()
-                log.emit(
-                    PARTITION_BEGIN,
-                    "partition",
-                    partition=task[0],
-                    faults=len(task[1]),
-                )
-                index, partial = self._run_inline(simulator, patterns, task, good_chunks)
-                partial.stats["wall_time_s"] = time.perf_counter() - t0
-                # After the wall-time override, so the histogram sees the
-                # same value the partition stats report.
-                partial.stats["metrics"] = partition_metrics(partial)
-                log.emit(
-                    PARTITION_END,
-                    "partition",
-                    partition=index,
-                    detected=len(partial.detected),
-                )
-                partial.stats["worker_events"] = log.to_payload()
-                partials.append((index, partial))
-        else:
-            context = self._context()
-            with context.Pool(
-                processes=min(jobs, len(tasks)),
-                initializer=_pool_initializer,
-                initargs=(
-                    simulator.netlist,
-                    patterns,
-                    good_chunks,
-                    simulator.word_width,
-                ),
-            ) as pool:
-                partials = list(pool.imap_unordered(_pool_partition, tasks, chunksize=1))
+        try:
+            if not tasks:
+                pass
+            elif not fan_out:
+                for task in tasks:
+                    t0 = time.perf_counter()
+                    log = EventLog()
+                    log.emit(
+                        PARTITION_BEGIN,
+                        "partition",
+                        partition=task[0],
+                        faults=len(task[1]),
+                    )
+                    index, partial = self._run_inline(
+                        simulator, patterns, task, good_chunks
+                    )
+                    partial.stats["wall_time_s"] = time.perf_counter() - t0
+                    # After the wall-time override, so the histogram sees the
+                    # same value the partition stats report.
+                    partial.stats["metrics"] = partition_metrics(partial)
+                    log.emit(
+                        PARTITION_END,
+                        "partition",
+                        partition=index,
+                        detected=len(partial.detected),
+                    )
+                    partial.stats["worker_events"] = log.to_payload()
+                    partials.append((index, partial))
+            else:
+                context = self._context()
+                with context.Pool(
+                    processes=min(jobs, len(tasks)),
+                    initializer=_pool_initializer,
+                    initargs=(
+                        simulator.netlist,
+                        simulator.word_width,
+                        simulator.kernel,
+                        arena.spec,
+                        meta,
+                    ),
+                ) as pool:
+                    partials = list(
+                        pool.imap_unordered(_pool_partition, tasks, chunksize=1)
+                    )
+        finally:
+            # The parent owns the segment: unlink on every exit path —
+            # normal completion, worker failure, KeyboardInterrupt.
+            if arena is not None:
+                arena.destroy()
 
         result = merge_results(
             [partial for _, partial in partials], universe, len(patterns), drop
@@ -328,6 +356,7 @@ class PoolBackend(FaultSimBackend):
             result, partials, tasks, jobs, good_seconds, good_words, start_time
         )
         result.stats["word_width"] = simulator.word_width
+        result.stats["kernel"] = simulator.kernel
         result.stats["good_cache_hits"] = good_hits
         return result
 

@@ -120,12 +120,23 @@ class FaultSimulator:
         netlist: Netlist,
         word_width: int = WORD_WIDTH,
         cache: object = goodcache.USE_DEFAULT,
+        kernel: str = "python",
     ):
         netlist.finalize()
         self.netlist = netlist
-        self.parallel = ParallelSimulator(netlist, word_width=word_width, cache=cache)
+        self.parallel = ParallelSimulator(
+            netlist, word_width=word_width, cache=cache, kernel=kernel
+        )
+        self.kernel = self.parallel.kernel
         self.word_width = self.parallel.word_width
         self.view = self.parallel.view
+        # Numpy-kernel cone evaluators (uint64 lane arrays); the python
+        # closures below are always compiled too — the serial engine and
+        # the transition/bridging flows stay on bigint words regardless of
+        # the kernel, and both kernels produce bit-identical results.
+        np_kernel = self.parallel.np_kernel
+        self._np_evaluators = np_kernel.evaluators if np_kernel is not None else None
+        self._np_consumers = None
         # Per-gate compiled evaluators for cone propagation: the gate-type
         # dispatch chain is resolved once here instead of once per event.
         self._evaluators = [
@@ -138,6 +149,18 @@ class FaultSimulator:
         self._topo_position = [0] * len(netlist.gates)
         for position, gate_index in enumerate(order):
             self._topo_position[gate_index] = position
+        if self._np_evaluators is not None:
+            # Pre-filtered heap entries per gate — (topo position, consumer)
+            # for every non-sequential consumer — so the numpy event loop
+            # never touches gate properties while scheduling.
+            self._np_consumers = [
+                tuple(
+                    (self._topo_position[consumer], consumer)
+                    for consumer in gate.fanout
+                    if not netlist.gates[consumer].is_sequential
+                )
+                for gate in netlist.gates
+            ]
         # Observation readers and, for branch-into-observation faults, the
         # set of (reader position -> gate read).
         self._readers = list(self.view.output_readers)
@@ -172,6 +195,7 @@ class FaultSimulator:
         good_passes = parallel.evaluations - passes0
         result.stats.update(
             engine=engine,
+            kernel=self.kernel,
             word_width=self.word_width,
             faults_simulated=result.total_faults,
             events_propagated=self._events_propagated - events0,
@@ -405,17 +429,30 @@ class FaultSimulator:
                 return self._publish(runner())
         return self._publish(runner())
 
-    def good_response(
-        self, patterns: Sequence[Sequence[int]]
-    ) -> List[List[int]]:
-        """Good-machine words for every ``word_width`` chunk of ``patterns``.
+    def good_response(self, patterns: Sequence[Sequence[int]]) -> List[object]:
+        """Good-machine response for every ``word_width`` chunk of ``patterns``.
 
-        One list of packed gate words per chunk — the shared response the
-        pool backend computes once and hands to every worker partition.
-        Chunks already in the good-machine cache are served without a pass.
+        One block per chunk — the shared response the pool backends compute
+        once and hand to every worker partition: a list of packed gate
+        words under the python kernel, a :class:`repro.sim.npsim.GoodBlock`
+        under the numpy kernel.  Chunks already in the good-machine cache
+        are served without a pass.
         """
-        chunks: List[List[int]] = []
+        chunks: List[object] = []
         width = self.word_width
+        if self.kernel == "numpy":
+            from . import npsim
+
+            np_kernel = self.parallel.np_kernel
+            bits = npsim.as_bit_matrix(patterns)
+            for start in range(0, len(bits), width):
+                chunk = bits[start : start + width]
+                chunks.append(
+                    self.parallel.evaluate_array(
+                        np_kernel.pack_block(chunk), len(chunk)
+                    )
+                )
+            return chunks
         for start in range(0, len(patterns), width):
             chunk = patterns[start : start + width]
             chunks.append(
@@ -427,26 +464,38 @@ class FaultSimulator:
 
     def _simulate_ppsfp(
         self,
-        patterns: Sequence[Sequence[int]],
+        patterns: Optional[Sequence[Sequence[int]]],
         faults: Iterable[StuckAtFault],
         drop: bool,
-        good_chunks: Optional[Sequence[Sequence[int]]] = None,
+        good_chunks: Optional[Sequence[object]] = None,
+        n_patterns: Optional[int] = None,
     ) -> FaultSimResult:
+        """PPSFP on the configured kernel.
+
+        ``patterns`` may be ``None`` when ``good_chunks`` and ``n_patterns``
+        are given — worker partitions never re-pack patterns, so backends
+        fanning the good response out through shared memory do not ship the
+        pattern list at all.
+        """
+        if self.kernel == "numpy":
+            return self._simulate_ppsfp_np(
+                patterns, faults, drop, good_chunks, n_patterns
+            )
         since = self._snapshot()
         active = _unique(faults)
         result = FaultSimResult(total_faults=len(active))
         width = self.word_width
-        for chunk_index, start in enumerate(range(0, len(patterns), width)):
+        total = len(patterns) if patterns is not None else n_patterns
+        for chunk_index, start in enumerate(range(0, total, width)):
             if drop and not active:
                 break
-            chunk = patterns[start : start + width]
-            n = len(chunk)
+            n = min(width, total - start)
             mask = (1 << n) - 1
             if good_chunks is not None:
                 good = good_chunks[chunk_index]
             else:
                 good = self.parallel.evaluate_words(
-                    self.parallel.pack_block(chunk), n
+                    self.parallel.pack_block(patterns[start : start + n]), n
                 )
             survivors: List[StuckAtFault] = []
             for fault in active:
@@ -462,10 +511,161 @@ class FaultSimulator:
                 else:
                     survivors.append(fault)
             active = survivors
-            result.patterns_simulated = min(start + n, len(patterns))
+            result.patterns_simulated = min(start + n, total)
         result.undetected = [f for f in active if f not in result.detected]
         if not drop:
-            result.patterns_simulated = len(patterns)
+            result.patterns_simulated = total
+        return self._fill_stats(result, "ppsfp", since)
+
+    # ------------------------------------------------------------------
+    # Numpy-kernel stuck-at PPSFP (repro.sim.npsim)
+    # ------------------------------------------------------------------
+    #
+    # Structurally isomorphic to the bigint path above — same seeds, same
+    # event-driven cone propagation, same convergence rule — so detected
+    # maps, undetected order, patterns_simulated, AND the deterministic
+    # events/words counters are bit-identical between kernels (the
+    # conformance suite pins this).  Words are (n_lanes,) uint64 arrays;
+    # convergence compares raw row bytes (~10x cheaper than array_equal
+    # at these sizes).
+
+    def _propagate_np(self, seeds, good, mask):
+        gates = self.netlist.gates
+        evaluators = self._np_evaluators
+        consumers = self._np_consumers
+        values = good.values
+        faulty: Dict[int, object] = {}
+        faulty_bytes: Dict[int, bytes] = {}
+        heap: List[Tuple[int, int]] = []
+        enqueued = set()
+        events = 0
+
+        for gate_index, word in seeds.items():
+            raw = word.tobytes()
+            if raw != good.row_bytes(gate_index):
+                faulty[gate_index] = word
+                faulty_bytes[gate_index] = raw
+                for entry in consumers[gate_index]:
+                    if entry[1] not in enqueued:
+                        enqueued.add(entry[1])
+                        heappush(heap, entry)
+
+        while heap:
+            _, gate_index = heappop(heap)
+            enqueued.discard(gate_index)
+            inputs = [
+                faulty[driver] if driver in faulty else values[driver]
+                for driver in gates[gate_index].fanin
+            ]
+            word = evaluators[gate_index](inputs, mask)
+            events += 1
+            raw = word.tobytes()
+            if raw == good.row_bytes(gate_index):
+                faulty.pop(gate_index, None)
+                faulty_bytes.pop(gate_index, None)
+                continue
+            if faulty_bytes.get(gate_index) == raw:
+                continue
+            faulty[gate_index] = word
+            faulty_bytes[gate_index] = raw
+            for entry in consumers[gate_index]:
+                if entry[1] not in enqueued:
+                    enqueued.add(entry[1])
+                    heappush(heap, entry)
+        self._events_propagated += events
+        self._words_evaluated += events
+        return faulty
+
+    def _stuck_at_seeds_np(self, fault: StuckAtFault, good, mask):
+        gates = self.netlist.gates
+        np_kernel = self.parallel.np_kernel
+        forced = mask if fault.value else np_kernel.zero(good.n_patterns)
+        if fault.pin == OUTPUT_PIN:
+            return {fault.gate: forced}
+        gate = gates[fault.gate]
+        if gate.type == GateType.OUTPUT or gate.is_sequential:
+            # Branch straight into an observation point: handled at readout.
+            return {}
+        inputs = [good.values[driver] for driver in gate.fanin]
+        inputs[fault.pin] = forced
+        self._words_evaluated += 1
+        return {fault.gate: self._np_evaluators[fault.gate](inputs, mask)}
+
+    def _detection_word_np(self, fault: StuckAtFault, good, faulty, mask):
+        """Lane-array twin of :meth:`_detection_word` (or ``None``).
+
+        Only readers present in the faulty map contribute — every other
+        reader XORs to zero — which replaces the all-readers loop that
+        dominates the python kernel's readout on replicated circuits.
+        """
+        diff = None
+        values = good.values
+        for reader in faulty.keys() & self._reader_set:
+            delta = faulty[reader] ^ values[reader]
+            if diff is None:
+                diff = delta
+            else:
+                diff |= delta
+        if fault.pin != OUTPUT_PIN:
+            gate = self.netlist.gates[fault.gate]
+            if gate.type == GateType.OUTPUT or gate.is_sequential:
+                np_kernel = self.parallel.np_kernel
+                forced = mask if fault.value else np_kernel.zero(good.n_patterns)
+                driver = gate.fanin[fault.pin]
+                delta = forced ^ values[driver]
+                diff = delta if diff is None else diff | delta
+        if diff is not None:
+            diff &= mask
+        return diff
+
+    def _simulate_ppsfp_np(
+        self,
+        patterns: Optional[Sequence[Sequence[int]]],
+        faults: Iterable[StuckAtFault],
+        drop: bool,
+        good_chunks: Optional[Sequence[object]] = None,
+        n_patterns: Optional[int] = None,
+    ) -> FaultSimResult:
+        from . import npsim
+
+        since = self._snapshot()
+        active = _unique(faults)
+        result = FaultSimResult(total_faults=len(active))
+        width = self.word_width
+        np_kernel = self.parallel.np_kernel
+        total = len(patterns) if patterns is not None else n_patterns
+        bits = npsim.as_bit_matrix(patterns) if good_chunks is None else None
+        for chunk_index, start in enumerate(range(0, total, width)):
+            if drop and not active:
+                break
+            n = min(width, total - start)
+            mask = np_kernel.mask(n)
+            if good_chunks is not None:
+                good = good_chunks[chunk_index]
+            else:
+                good = self.parallel.evaluate_array(
+                    np_kernel.pack_block(bits[start : start + n]), n
+                )
+            survivors: List[StuckAtFault] = []
+            for fault in active:
+                seeds = self._stuck_at_seeds_np(fault, good, mask)
+                faulty = self._propagate_np(seeds, good, mask) if seeds else {}
+                diff = self._detection_word_np(fault, good, faulty, mask)
+                first_bit = (
+                    npsim.first_pattern_bit(diff) if diff is not None else None
+                )
+                if first_bit is not None:
+                    if fault not in result.detected:
+                        result.detected[fault] = start + first_bit
+                    if not drop:
+                        survivors.append(fault)
+                else:
+                    survivors.append(fault)
+            active = survivors
+            result.patterns_simulated = min(start + n, total)
+        result.undetected = [f for f in active if f not in result.detected]
+        if not drop:
+            result.patterns_simulated = total
         return self._fill_stats(result, "ppsfp", since)
 
     def _simulate_serial(

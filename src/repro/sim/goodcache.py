@@ -49,9 +49,13 @@ class GoodMachineCache:
         return len(self._entries)
 
     @staticmethod
-    def _entry_bytes(words: Sequence[int], n_patterns: int) -> int:
-        # A CPython int costs ~28 bytes plus its payload; the list adds one
-        # pointer per element.  Close enough to keep the budget honest.
+    def _entry_bytes(words, n_patterns: int) -> int:
+        # Numpy-kernel blocks (repro.sim.npsim.GoodBlock) know their exact
+        # array size; bigint lists are estimated — a CPython int costs ~28
+        # bytes plus its payload, and the list adds one pointer per element.
+        nbytes = getattr(words, "nbytes", None)
+        if nbytes is not None:
+            return nbytes + 64
         return len(words) * (36 + n_patterns // 8) + 64
 
     def get(self, key: CacheKey) -> Optional[List[int]]:

@@ -62,6 +62,7 @@ from ..obs.events import (
     TIMEOUT,
     EventLog,
 )
+from . import shm
 from .chaos import ChaosPlan
 from .dispatch import (
     FaultSimBackend,
@@ -138,17 +139,20 @@ def validate_partial(
     return None
 
 
-def _supervised_worker(conn, index, attempt, shard, drop, netlist, patterns,
-                       good_chunks, word_width, chaos) -> None:
+def _supervised_worker(conn, index, attempt, shard, drop, netlist,
+                       arena_spec, meta, chaos) -> None:
     """Worker entry: grade one shard, send (status, payload), exit.
 
-    Runs in its own process; under the ``fork`` start method the netlist,
-    patterns and shared good-machine response arrive by copy-on-write,
-    under ``spawn`` they are pickled through the args.  Any exception —
-    including injected chaos — is reported as an ``error`` message so the
-    supervisor need not wait for a timeout to learn about it.
+    Runs in its own process; the netlist arrives by copy-on-write under
+    ``fork`` (pickled under ``spawn``), and the pattern matrix plus the
+    shared good-machine response are mapped read-only from the campaign
+    arena — one shared segment instead of one pickle per attempt.  Any
+    exception — including injected chaos — is reported as an ``error``
+    message so the supervisor need not wait for a timeout to learn about
+    it.  Workers never unlink the arena; the parent owns it.
     """
     status, payload = "error", "worker exited without result"
+    n_patterns = meta["n_patterns"]
     try:
         log = EventLog()
         log.emit(
@@ -157,12 +161,20 @@ def _supervised_worker(conn, index, attempt, shard, drop, netlist, patterns,
         )
         if chaos is not None:
             chaos.execute_pre(index, attempt)
-        simulator = FaultSimulator(netlist, word_width=word_width, cache=None)
+        # The arena (and with it every zero-copy good-block view) must
+        # outlive the simulation; the process exit reclaims the mapping.
+        _, good_chunks = shm.attach_campaign(arena_spec, meta)
+        simulator = FaultSimulator(
+            netlist,
+            word_width=meta["word_width"],
+            cache=None,
+            kernel=meta["kernel"],
+        )
         partial = simulator._simulate_ppsfp(
-            patterns, shard, drop, good_chunks=good_chunks
+            None, shard, drop, good_chunks=good_chunks, n_patterns=n_patterns
         )
         if chaos is not None:
-            partial = chaos.corrupt_result(index, attempt, partial, len(patterns))
+            partial = chaos.corrupt_result(index, attempt, partial, n_patterns)
         # After chaos corruption, so the registry describes the partial as
         # actually shipped (a rejected partial's metrics die with it).
         partial.stats["metrics"] = partition_metrics(partial)
@@ -242,7 +254,12 @@ class SupervisedPoolBackend(FaultSimBackend):
         good_start = time.perf_counter()
         parallel = simulator.parallel
         passes0 = parallel.evaluations
-        good_chunks = simulator.good_response(patterns)
+        # The campaign arena holds the packed pattern matrix and the
+        # good-machine response in one shared segment; the parent owns it
+        # and unlinks it in the ``finally`` below on every exit path —
+        # normal completion, poisoned shards, and KeyboardInterrupt.
+        arena, meta = shm.pack_campaign(simulator, patterns)
+        good_chunks = shm.good_chunks_from(arena, meta)
         good_words = (parallel.evaluations - passes0) * parallel.num_scheduled
         good_seconds = time.perf_counter() - good_start
 
@@ -262,31 +279,34 @@ class SupervisedPoolBackend(FaultSimBackend):
         # campaign heartbeats, stitched with the workers' shipped logs.
         events = EventLog()
 
-        journal_skipped = 0
-        if self.journal is not None and shards:
-            key = CampaignKey.build(
-                simulator.netlist, patterns, universe, self.seed, len(shards), drop
-            )
-            for index, partial in self.journal.begin(key).items():
-                if index >= len(shards):
-                    continue
-                if validate_partial(partial, shards[index], len(patterns)) is None:
-                    results[index] = partial
-                    sources[index] = "journal"
-                    journal_skipped += 1
-                    events.emit(JOURNAL_SKIP, "journal_skip", partition=index)
+        try:
+            journal_skipped = 0
+            if self.journal is not None and shards:
+                key = CampaignKey.build(
+                    simulator.netlist, patterns, universe, self.seed, len(shards), drop
+                )
+                for index, partial in self.journal.begin(key).items():
+                    if index >= len(shards):
+                        continue
+                    if validate_partial(partial, shards[index], len(patterns)) is None:
+                        results[index] = partial
+                        sources[index] = "journal"
+                        journal_skipped += 1
+                        events.emit(JOURNAL_SKIP, "journal_skip", partition=index)
 
-        pending = [
-            (index, 0, 0.0)  # (partition, attempt, eligible-at monotonic time)
-            for index in range(len(shards))
-            if index not in results
-        ]
-        if pending:
-            self._supervise(
-                simulator, patterns, good_chunks, shards, drop, jobs, pending,
-                results, failed, counters, sources, attempts_used,
-                events, metrics_lost,
-            )
+            pending = [
+                (index, 0, 0.0)  # (partition, attempt, eligible-at monotonic time)
+                for index in range(len(shards))
+                if index not in results
+            ]
+            if pending:
+                self._supervise(
+                    simulator, arena, meta, good_chunks, shards, drop, jobs,
+                    pending, results, failed, counters, sources, attempts_used,
+                    events, metrics_lost,
+                )
+        finally:
+            arena.destroy()
 
         result = merge_results(
             [results[i] for i in sorted(results)], universe, len(patterns), drop
@@ -303,12 +323,12 @@ class SupervisedPoolBackend(FaultSimBackend):
     # ------------------------------------------------------------------
 
     def _supervise(
-        self, simulator, patterns, good_chunks, shards, drop, jobs, pending,
+        self, simulator, arena, meta, good_chunks, shards, drop, jobs, pending,
         results, failed, counters, sources, attempts_used, events, metrics_lost,
     ) -> None:
         config = self.config
         running: List[_Slot] = []
-        n_patterns = len(patterns)
+        n_patterns = meta["n_patterns"]
         faults_total = sum(len(shard) for shard in shards)
 
         def record(index: int, partial: FaultSimResult, source: str, attempt: int):
@@ -351,7 +371,7 @@ class SupervisedPoolBackend(FaultSimBackend):
                 pending.append((slot.index, attempt + 1, eligible))
                 return
             self._finish_poisoned(
-                simulator, patterns, good_chunks, shards, drop, slot.index,
+                simulator, n_patterns, good_chunks, shards, drop, slot.index,
                 attempt, reason, record, failed, counters, events,
             )
 
@@ -374,7 +394,7 @@ class SupervisedPoolBackend(FaultSimBackend):
                             )
                     running.append(
                         self._spawn(
-                            simulator, patterns, good_chunks, shards[index],
+                            simulator, arena, meta, shards[index],
                             drop, index, attempt,
                         )
                     )
@@ -435,7 +455,7 @@ class SupervisedPoolBackend(FaultSimBackend):
                 self.journal.flush()
             raise
 
-    def _spawn(self, simulator, patterns, good_chunks, shard, drop, index, attempt):
+    def _spawn(self, simulator, arena, meta, shard, drop, index, attempt):
         """Start one worker process for one shard attempt."""
         context = self._context()
         parent_conn, child_conn = context.Pipe(duplex=False)
@@ -443,7 +463,7 @@ class SupervisedPoolBackend(FaultSimBackend):
             target=_supervised_worker,
             args=(
                 child_conn, index, attempt, shard, drop, simulator.netlist,
-                patterns, good_chunks, simulator.word_width, self.chaos,
+                arena.spec, meta, self.chaos,
             ),
             daemon=True,
         )
@@ -488,7 +508,7 @@ class SupervisedPoolBackend(FaultSimBackend):
         return None
 
     def _finish_poisoned(
-        self, simulator, patterns, good_chunks, shards, drop, index,
+        self, simulator, n_patterns, good_chunks, shards, drop, index,
         attempt, reason, record, failed, counters, events,
     ) -> None:
         """Pool retries exhausted: inline fallback, else mark failed."""
@@ -504,13 +524,14 @@ class SupervisedPoolBackend(FaultSimBackend):
                 if self.chaos is not None:
                     self.chaos.execute_pre(index, inline_attempt, inline=True)
                 partial = simulator._simulate_ppsfp(
-                    patterns, shard, drop, good_chunks=good_chunks
+                    None, shard, drop,
+                    good_chunks=good_chunks, n_patterns=n_patterns,
                 )
                 if self.chaos is not None:
                     partial = self.chaos.corrupt_result(
-                        index, inline_attempt, partial, len(patterns)
+                        index, inline_attempt, partial, n_patterns
                     )
-                invalid = validate_partial(partial, shard, len(patterns))
+                invalid = validate_partial(partial, shard, n_patterns)
                 if invalid is None:
                     partial.stats["metrics"] = partition_metrics(partial)
                     record(index, partial, "inline", inline_attempt)
@@ -536,8 +557,9 @@ class SupervisedPoolBackend(FaultSimBackend):
 
     @staticmethod
     def _context():
-        # fork shares the parent's netlist/patterns/good response for
-        # free; platforms without it pickle them through the Process args.
+        # fork shares the parent's netlist for free (the patterns and good
+        # response ride the shared-memory arena either way); platforms
+        # without fork pickle the netlist through the Process args.
         try:
             return multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
@@ -611,6 +633,7 @@ class SupervisedPoolBackend(FaultSimBackend):
             jobs=jobs,
             seed=self.seed,
             word_width=simulator.word_width,
+            kernel=simulator.kernel,
             faults_simulated=result.total_faults,
             n_partitions=len(shards),
             partitions=per_partition,

@@ -1,11 +1,11 @@
-"""Differential harness across the fault-simulation backends.
+"""Dispatch-layer mechanics: partitioning, merging, stats, flow threading.
 
-The dispatch layer's contract is absolute: serial, ppsfp, and pool must
-produce *identical* ``detected`` maps (same faults, same first-detecting
-pattern indices) and identical ``undetected`` lists on every circuit, for
-every worker count, including the degenerate 1-worker and 0-fault cases.
-These tests are the evidence that lets every downstream flow (ATPG
-top-off, compression grading, E3/E4 benchmarks) switch backends freely.
+The full cross-backend × cross-kernel × cross-width agreement matrix
+lives in ``test_conformance.py``; this file keeps what is specific to
+the dispatch layer itself — deterministic partitioning, min-merge
+semantics, degenerate edge cases (1 worker, 0 faults), stats
+instrumentation, backend registry, and the transition/bridging
+regression pins.
 """
 
 import pytest
@@ -29,54 +29,13 @@ from repro.sim.dispatch import (
 from repro.sim.faultsim import FaultSimResult, FaultSimulator
 
 
-def _circuits():
-    """≥5 generated circuits: combinational plus full-scan sequential."""
-    return [
-        benchmarks.c17(),
-        generators.random_circuit(5, 25, seed=101),
-        generators.random_circuit(8, 60, seed=202),
-        generators.adder(4),
-        generators.random_sequential(4, 40, 5, seed=303),
-        generators.random_sequential(6, 50, 8, seed=404),
-    ]
-
-
 def _universe(netlist):
     faults, _ = collapse_faults(netlist, full_fault_list(netlist))
     return faults
 
 
-class TestDifferentialAgreement:
-    @pytest.mark.parametrize("index", range(6))
-    def test_all_backends_agree(self, index):
-        netlist = _circuits()[index]
-        simulator = FaultSimulator(netlist)
-        faults = _universe(netlist)
-        patterns = random_patterns(simulator.view.num_inputs, 96, seed=index)
-
-        reference = simulator.simulate(patterns, faults, engine="ppsfp")
-        serial = simulator.simulate(patterns, faults, engine="serial")
-        pool = simulator.simulate(patterns, faults, engine="pool", jobs=2)
-
-        # Identical detected sets AND identical first-detection indices.
-        assert serial.detected == reference.detected
-        assert pool.detected == reference.detected
-        assert serial.undetected == reference.undetected
-        assert pool.undetected == reference.undetected
-        assert pool.patterns_simulated == reference.patterns_simulated
-        assert pool.total_faults == reference.total_faults == len(faults)
-
-    @pytest.mark.parametrize("index", range(6))
-    def test_no_drop_agreement(self, index):
-        netlist = _circuits()[index]
-        simulator = FaultSimulator(netlist)
-        faults = _universe(netlist)
-        patterns = random_patterns(simulator.view.num_inputs, 70, seed=1000 + index)
-        reference = simulator.simulate(patterns, faults, drop=False, engine="ppsfp")
-        pool = simulator.simulate(patterns, faults, drop=False, engine="pool", jobs=2)
-        assert pool.detected == reference.detected
-        assert pool.undetected == reference.undetected
-        assert pool.patterns_simulated == len(patterns)
+class TestDispatchEdgeCases:
+    """Degenerate inputs the conformance matrix doesn't sweep."""
 
     def test_single_worker_edge_case(self):
         netlist = generators.random_circuit(6, 40, seed=7)

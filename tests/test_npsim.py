@@ -1,0 +1,233 @@
+"""Property tests for the numpy uint64 lane kernel (:mod:`repro.sim.npsim`).
+
+Hypothesis sweeps random netlists and pattern blocks through both
+kernels and checks the structural contracts the conformance matrix
+builds on:
+
+* numpy and python kernels produce identical responses, detections, and
+  deterministic counters on arbitrary circuits;
+* ``pack_bits``/``unpack_bits`` roundtrip exactly, and a packed lane row
+  is byte-identical to the bigint word of
+  :func:`repro.sim.parallel.pack_patterns`;
+* the masked-words invariant — no bits at positions ``>= n_patterns`` —
+  holds after *every* gate op in a good-machine pass (each gate's row is
+  written by exactly one op, so checking all rows checks all ops);
+* every array evaluator agrees with its scalar-bigint twin from
+  :mod:`repro.circuit.gates`, including the inverting re-mask.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atpg.random_gen import random_patterns
+from repro.circuit import generators
+from repro.circuit.gates import GateType, compile_parallel_evaluator
+from repro.faults import collapse_faults, full_fault_list
+from repro.sim import npsim
+from repro.sim.faultsim import FaultSimulator
+from repro.sim.npsim import (
+    LANE_DTYPE,
+    GoodBlock,
+    compile_array_evaluator,
+    first_pattern_bit,
+    int_to_words,
+    lane_mask,
+    lanes_for,
+    pack_bits,
+    unpack_bits,
+    words_to_int,
+)
+from repro.sim.parallel import ParallelSimulator, pack_patterns
+
+SMALL = dict(max_examples=15, deadline=None)
+seeds = st.integers(0, 10**6)
+
+
+def small_circuit(seed):
+    rng = random.Random(seed)
+    return generators.random_circuit(
+        rng.randint(4, 8), rng.randint(15, 45), seed=seed
+    )
+
+
+def random_lane_array(rng, n_patterns):
+    """A random already-masked lane row for ``n_patterns`` patterns."""
+    word = rng.getrandbits(n_patterns) if n_patterns else 0
+    return int_to_words(word, lanes_for(max(n_patterns, 1)))
+
+
+class TestKernelEquivalence:
+    @settings(**SMALL)
+    @given(seed=seeds, n_patterns=st.integers(1, 90))
+    def test_responses_and_detections_match_python(self, seed, n_patterns):
+        netlist = small_circuit(seed)
+        faults, _ = collapse_faults(netlist, full_fault_list(netlist))
+        patterns = random_patterns(len(netlist.inputs), n_patterns, seed=seed)
+        python = FaultSimulator(netlist, cache=None, kernel="python")
+        numpy = FaultSimulator(netlist, cache=None, kernel="numpy")
+        assert numpy.parallel.responses(patterns) == python.parallel.responses(
+            patterns
+        )
+        base = python.simulate(patterns, faults, engine="ppsfp")
+        result = numpy.simulate(patterns, faults, engine="ppsfp")
+        assert result.detected == base.detected
+        assert result.undetected == base.undetected
+        for counter in ("events_propagated", "words_evaluated", "good_passes"):
+            assert result.stats[counter] == base.stats[counter], counter
+
+    @settings(**SMALL)
+    @given(seed=seeds, n_patterns=st.integers(1, 90))
+    def test_good_block_words_equal_bigint_words(self, seed, n_patterns):
+        """Every gate's lane row serializes to the python kernel's word."""
+        netlist = small_circuit(seed)
+        patterns = random_patterns(len(netlist.inputs), n_patterns, seed=seed)
+        python = ParallelSimulator(netlist, cache=None, word_width=128)
+        numpy = ParallelSimulator(
+            netlist, cache=None, word_width=128, kernel="numpy"
+        )
+        packed = python.pack_block(patterns)
+        words = python.evaluate_words(packed, n_patterns)
+        kernel = numpy.np_kernel
+        block = kernel.run_pass(
+            kernel.pack_block(npsim.as_bit_matrix(patterns)), n_patterns
+        )
+        for gate_index in range(len(netlist.gates)):
+            assert block.word(gate_index) == words[gate_index], gate_index
+
+
+class TestPackRoundtrip:
+    @settings(**SMALL)
+    @given(
+        seed=seeds,
+        n_patterns=st.integers(1, 200),
+        n_signals=st.integers(1, 16),
+    )
+    def test_pack_unpack_roundtrip(self, seed, n_patterns, n_signals):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=(n_patterns, n_signals), dtype=np.uint8)
+        packed = pack_bits(bits)
+        assert packed.dtype == LANE_DTYPE
+        assert packed.shape == (n_signals, lanes_for(n_patterns))
+        assert np.array_equal(unpack_bits(packed, n_patterns), bits)
+        # Zero-padding past n_patterns: the invariant by construction.
+        mask = lane_mask(n_patterns)
+        assert not np.any(packed & ~mask)
+
+    @settings(**SMALL)
+    @given(
+        seed=seeds,
+        n_patterns=st.integers(1, 200),
+        n_bits=st.integers(1, 12),
+    )
+    def test_packed_rows_equal_bigint_pack(self, seed, n_patterns, n_bits):
+        rng = random.Random(seed)
+        patterns = [
+            [rng.randint(0, 1) for _ in range(n_bits)]
+            for _ in range(n_patterns)
+        ]
+        packed = pack_bits(npsim.as_bit_matrix(patterns))
+        for bit in range(n_bits):
+            assert words_to_int(packed[bit]) == pack_patterns(patterns, bit)
+
+    @settings(**SMALL)
+    @given(seed=seeds, n_patterns=st.integers(1, 300))
+    def test_int_words_roundtrip(self, seed, n_patterns):
+        rng = random.Random(seed)
+        word = rng.getrandbits(n_patterns)
+        row = int_to_words(word, lanes_for(n_patterns))
+        assert words_to_int(row) == word
+        assert first_pattern_bit(row) == (
+            (word & -word).bit_length() - 1 if word else None
+        )
+
+
+class TestMaskedWordsInvariant:
+    @settings(**SMALL)
+    @given(seed=seeds, n_patterns=st.integers(1, 130))
+    def test_invariant_after_every_gate_op(self, seed, n_patterns):
+        """Each gate row is written by exactly one compiled op, so a
+        fully-masked value block proves the invariant op by op."""
+        netlist = small_circuit(seed)
+        patterns = random_patterns(len(netlist.inputs), n_patterns, seed=seed)
+        kernel = ParallelSimulator(netlist, cache=None, kernel="numpy").np_kernel
+        block = kernel.run_pass(
+            kernel.pack_block(npsim.as_bit_matrix(patterns)), n_patterns
+        )
+        mask = lane_mask(n_patterns)
+        assert not np.any(block.values & ~mask)
+
+    @settings(**SMALL)
+    @given(seed=seeds, n_patterns=st.integers(1, 130))
+    def test_run_pass_masks_dirty_inputs(self, seed, n_patterns):
+        """Garbage bits above ``n_patterns`` in the input rows must not
+        leak into any gate value."""
+        netlist = small_circuit(seed)
+        patterns = random_patterns(len(netlist.inputs), n_patterns, seed=seed)
+        kernel = ParallelSimulator(netlist, cache=None, kernel="numpy").np_kernel
+        packed = kernel.pack_block(npsim.as_bit_matrix(patterns))
+        clean = kernel.run_pass(packed, n_patterns)
+        dirty = packed | ~kernel.mask(n_patterns)
+        block = kernel.run_pass(dirty, n_patterns)
+        assert not np.any(block.values & ~lane_mask(n_patterns))
+        assert np.array_equal(block.values, clean.values)
+
+    @settings(**SMALL)
+    @given(
+        seed=seeds,
+        n_patterns=st.integers(1, 130),
+        gate_type=st.sampled_from(
+            [
+                GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+                GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUF,
+                GateType.MUX2, GateType.CONST0, GateType.CONST1,
+            ]
+        ),
+        arity=st.integers(1, 4),
+    )
+    def test_array_evaluator_matches_scalar_twin(
+        self, seed, n_patterns, gate_type, arity
+    ):
+        if gate_type in (GateType.NOT, GateType.BUF):
+            arity = 1
+        elif gate_type == GateType.MUX2:
+            arity = 3
+        elif gate_type in (GateType.CONST0, GateType.CONST1):
+            arity = 0
+        elif arity < 2:
+            arity = 2
+        rng = random.Random(seed)
+        rows = [random_lane_array(rng, n_patterns) for _ in range(arity)]
+        mask = lane_mask(n_patterns)
+        array_fn = compile_array_evaluator(gate_type, arity)
+        scalar_fn = compile_parallel_evaluator(gate_type, arity)
+        out = array_fn(rows, mask)
+        expected = scalar_fn(
+            [words_to_int(row) for row in rows],
+            words_to_int(mask),
+        )
+        assert words_to_int(out) == expected
+        assert not np.any(out & ~mask)
+
+
+class TestGoodBlock:
+    def test_rows_read_only_and_byte_stable(self):
+        values = np.arange(8, dtype=LANE_DTYPE).reshape(4, 2)
+        block = GoodBlock(values, 100)
+        with pytest.raises(ValueError):
+            block.values[0, 0] = 1
+        for gate_index in range(4):
+            assert block.row_bytes(gate_index) == (
+                block.values[gate_index].tobytes()
+            )
+            assert block.word(gate_index) == words_to_int(
+                block.values[gate_index]
+            )
+        assert block.nbytes == values.nbytes
+
+    def test_first_pattern_bit_multi_lane(self):
+        row = int_to_words(1 << 200, 4)
+        assert first_pattern_bit(row) == 200
+        assert first_pattern_bit(int_to_words(0, 4)) is None

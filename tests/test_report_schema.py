@@ -79,6 +79,61 @@ class TestGoldenSchema:
             assert required in paths
 
 
+class TestBenchEnvelopes:
+    """Committed ``BENCH_*.json`` files are RunReport envelopes too; pin
+    the payload fields downstream tooling reads from them."""
+
+    BENCH_DIR = Path(__file__).parent.parent / "benchmarks"
+
+    def test_dispatch_speedup_assertion_recorded(self):
+        """The pool-speedup capability gate must leave an explicit verdict
+        in the envelope — ``asserted`` plus a ``skipped_reason`` — instead
+        of silently skipping on low-core hosts (the old behavior printed
+        the skip to stdout and recorded nothing)."""
+        report = RunReport.from_json(
+            (self.BENCH_DIR / "BENCH_dispatch.json").read_text()
+        )
+        gate = report.payload["speedup_assertion"]
+        assert set(gate) == {
+            "cpu_count",
+            "required_cores",
+            "min_speedup_x",
+            "asserted",
+            "skipped_reason",
+        }
+        assert isinstance(gate["asserted"], bool)
+        assert gate["cpu_count"] >= 1
+        if gate["asserted"]:
+            assert gate["skipped_reason"] is None
+        else:
+            assert gate["cpu_count"] < gate["required_cores"]
+            assert gate["skipped_reason"]
+
+    def test_np_smoke_envelope_shape(self):
+        """The numpy-kernel CI envelope carries replicated wall rows under
+        the ``<kernel>_x<N>`` convention and exact work counters — the
+        contract ``repro obs gate`` enforces against the baseline."""
+        report = RunReport.from_json(
+            (self.BENCH_DIR / "baselines" / "BENCH_widesim_np_smoke.json").read_text()
+        )
+        rows = {row["name"]: row for row in report.payload["rows"]}
+        for kernel in ("python", "numpy"):
+            for rep in range(3):
+                row = rows[f"{kernel}_x{rep}"]
+                assert row["wall_time_s"] > 0
+                for counter in (
+                    "events_propagated",
+                    "words_evaluated",
+                    "good_passes",
+                    "detected",
+                    "faults",
+                ):
+                    # Deterministic counters are kernel- and replicate-
+                    # invariant: the kernels grade identical work.
+                    assert row[counter] == rows["python_x0"][counter], counter
+        assert rows["speedup"]["numpy_vs_python_x"] > 1.0
+
+
 class TestRoundTrip:
     def test_report_json_roundtrip(self, tmp_path, capsys):
         report = _generate_report(tmp_path)
