@@ -20,17 +20,21 @@ Every subcommand also takes ``--report FILE`` (RunReport JSON),
 (Chrome trace-event JSON for Perfetto/``chrome://tracing``).
 
 Exit codes: ``0`` success; ``2`` bad arguments (argparse) or campaign
-mismatch; ``3`` a supervised fault-sim campaign completed *partially*
+mismatch (journal or shard store keyed to a different circuit/pattern
+set); ``3`` a supervised fault-sim campaign completed *partially*
 (unrecoverable partitions — reported coverage is a lower bound);
-``4`` benchmark regression detected by ``obs gate``;
-``130`` interrupted (Ctrl-C: workers are terminated and the campaign
-journal is flushed before exiting, so ``--resume`` picks up where the
-run died).
+``4`` benchmark regression detected by ``obs gate``; ``5`` a
+``--store`` campaign was already finished by peer runners (the printed
+result is real — merged from the store — but this runner graded
+nothing); ``130`` interrupted (Ctrl-C: workers are terminated, held
+store leases are released, and the campaign journal is flushed before
+exiting, so ``--resume``/peers pick up where the run died).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -49,7 +53,7 @@ from .circuit.verilog import load_verilog
 from .dft.planner import build_plan
 from .faults import collapse_faults, full_fault_list
 from .scan.patfile import format_patterns, load_patterns
-from .sim.chaos import ChaosPlan
+from .sim.chaos import ChaosPlan, HostChaosPlan
 from .sim.dispatch import BACKEND_NAMES
 from .sim.faultsim import FaultSimulator
 from .sim.journal import (
@@ -57,6 +61,7 @@ from .sim.journal import (
     JournalMismatchError,
     read_campaign_progress,
 )
+from .sim.store import ShardStore, read_store_progress
 from .sim.parallel import KERNELS, WORD_WIDTH, WORD_WIDTHS
 from .sim.supervisor import SupervisedPoolBackend, SupervisorConfig
 from .sim.view import CombinationalView
@@ -66,6 +71,10 @@ from .sim.view import CombinationalView
 EXIT_PARTIAL = 3
 #: ``repro obs gate`` found a wall-time regression or counter drift.
 EXIT_REGRESSION = 4
+#: A ``--store`` campaign was complete before this runner graded anything:
+#: the merged result printed is authoritative, but schedulers fanning out
+#: runners can tell "did work" (0) from "peers beat me to all of it" (5).
+EXIT_PEERS = 5
 #: Interrupted by Ctrl-C after clean teardown (POSIX convention: 128+SIGINT).
 EXIT_INTERRUPTED = 130
 
@@ -139,15 +148,23 @@ def _cmd_atpg(args) -> int:
 def _supervised_backend(args) -> Optional[SupervisedPoolBackend]:
     """Build a supervised backend when the flags call for one.
 
-    ``--resume``, ``--timeout``, ``--retries`` and ``--chaos`` all imply
-    supervision; asking for them with an unsupervised ``--backend`` is
-    upgraded (with a note) rather than silently ignored.
+    ``--resume``, ``--timeout``, ``--retries``, ``--chaos``, ``--store``
+    and ``--host-chaos`` all imply supervision; asking for them with an
+    unsupervised ``--backend`` is upgraded (with a note) rather than
+    silently ignored.
     """
+    if args.store is None and (args.runner_id is not None or bool(args.host_chaos)):
+        raise ValueError(
+            "--runner-id/--host-chaos only make sense with --store DIR "
+            "(they name runners of a shared campaign)"
+        )
     implied = (
         args.resume is not None
         or args.timeout is not None
         or args.retries is not None
         or bool(args.chaos)
+        or args.store is not None
+        or bool(args.host_chaos)
     )
     if args.backend != "supervised" and not implied:
         return None
@@ -160,6 +177,15 @@ def _supervised_backend(args) -> Optional[SupervisedPoolBackend]:
         CampaignJournal(args.resume, strict=True) if args.resume is not None else None
     )
     chaos = ChaosPlan.parse(args.chaos) if args.chaos else None
+    store = None
+    if args.store is not None:
+        runner_id = (
+            args.runner_id
+            if args.runner_id is not None
+            else f"runner-{os.getpid()}"
+        )
+        store = ShardStore(args.store, runner_id=runner_id, lease_s=args.lease_s)
+    host_chaos = HostChaosPlan.parse(args.host_chaos) if args.host_chaos else None
     return SupervisedPoolBackend(
         jobs=args.jobs,
         seed=args.seed,
@@ -167,6 +193,8 @@ def _supervised_backend(args) -> Optional[SupervisedPoolBackend]:
         config=config,
         chaos=chaos,
         journal=journal,
+        store=store,
+        host_chaos=host_chaos,
     )
 
 
@@ -237,6 +265,21 @@ def _cmd_faultsim(args) -> int:
                 f"resumed from journal: {stats['journal_skipped']}/"
                 f"{stats.get('n_partitions', '?')} partitions skipped"
             )
+        store_stats = stats.get("store")
+        if store_stats:
+            line = (
+                f"store {store_stats['path']} [{store_stats['runner_id']}]: "
+                f"{store_stats['shards_graded_here']}/{store_stats['n_shards']}"
+                f" shards graded by this runner"
+            )
+            extra = ", ".join(
+                f"{store_stats[key]} {key.replace('_', ' ')}"
+                for key in ("steals", "publish_conflicts", "leases_swept")
+                if store_stats.get(key)
+            )
+            if extra:
+                line += f" ({extra})"
+            print(line)
         failed = stats.get("failed_partitions")
         if failed:
             indices = sorted(entry["partition"] for entry in failed)
@@ -247,6 +290,12 @@ def _cmd_faultsim(args) -> int:
                 file=sys.stderr,
             )
             return EXIT_PARTIAL
+        if store_stats and store_stats.get("finished_by_peers"):
+            print(
+                "campaign already finished by peer runners; "
+                "result above merged from the store"
+            )
+            return EXIT_PEERS
     return 0
 
 
@@ -337,13 +386,46 @@ def _render_progress(progress) -> str:
     return line
 
 
+def _render_store_progress(progress) -> List[str]:
+    """Per-runner ownership map of a shard store, one line per runner."""
+    done = progress.get("partitions_done_count", 0)
+    total = progress.get("partitions_total", "?")
+    lines = [
+        f"store {progress['path']}: partitions {done}/{total} done, "
+        f"{progress.get('leased', 0)} leased, "
+        f"{progress.get('available', 0)} available, "
+        f"faults graded {progress.get('faults_graded', 0)}, "
+        f"detected {progress.get('detected', 0)}"
+        + (f", {progress['steals']} steal(s)" if progress.get("steals") else "")
+    ]
+    for runner, row in sorted(progress.get("runners", {}).items()):
+        held = ", ".join(
+            f"{entry['shard']}@{entry['expires_in_s']:+.1f}s"
+            for entry in row.get("held", ())
+        )
+        line = f"  {runner}: {row.get('published', 0)} published"
+        if row.get("steals"):
+            line += f", {row['steals']} stolen"
+        line += f", holds [{held}]" if held else ", holds nothing"
+        lines.append(line)
+    if progress.get("complete"):
+        lines.append("  campaign complete")
+    return lines
+
+
 def _cmd_obs_tail(args) -> int:
+    is_store = os.path.isdir(args.journal)
     while True:
-        progress = read_campaign_progress(args.journal)
-        if not progress["sections"]:
-            print(f"{args.journal}: no campaign sections yet")
+        if is_store:
+            progress = read_store_progress(args.journal)
+            for line in _render_store_progress(progress):
+                print(line)
         else:
-            print(_render_progress(progress))
+            progress = read_campaign_progress(args.journal)
+            if not progress["sections"]:
+                print(f"{args.journal}: no campaign sections yet")
+            else:
+                print(_render_progress(progress))
         total = progress.get("partitions_total")
         done = progress.get(
             "partitions_done_count", len(progress.get("partitions_done", []))
@@ -502,6 +584,40 @@ def _add_supervision_arguments(parser: argparse.ArgumentParser) -> None:
         help="inject deterministic failures for testing, e.g. "
         "'2:crash,crash' or '0:hang' (repeatable; supervised backend)",
     )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="shared shard-store directory: N independently launched "
+        "runners with the same --store cooperatively execute one "
+        "campaign, stealing shards from dead peers (implies the "
+        "supervised backend)",
+    )
+    parser.add_argument(
+        "--runner-id",
+        default=None,
+        metavar="NAME",
+        help="this runner's name in the store (lease ownership, event "
+        "files; default: runner-<pid>)",
+    )
+    parser.add_argument(
+        "--lease-s",
+        type=_positive_float,
+        default=30.0,
+        metavar="SECONDS",
+        help="shard lease duration: a runner silent this long is presumed "
+        "dead and its shards are stolen (default: 30)",
+    )
+    parser.add_argument(
+        "--host-chaos",
+        action="append",
+        default=None,
+        metavar="RUNNER:MODE[@AFTER[,DURATION_S]]",
+        help="inject a host-level failure into the named runner: "
+        "'r1:kill@2' (exit hard after 2 publishes), 'r0:stall@1,0.5' "
+        "(stop renewing leases), 'r2:partition@1,0.5' (lose the store "
+        "for a window; repeatable; requires --store)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -625,9 +741,16 @@ def build_parser() -> argparse.ArgumentParser:
     gate.set_defaults(handler=_cmd_obs_gate)
 
     tail = obs_sub.add_parser(
-        "tail", help="progress of a supervised campaign from its journal"
+        "tail",
+        help="progress of a supervised campaign from its journal, or "
+        "per-runner shard ownership of a --store directory",
     )
-    tail.add_argument("journal", help="CampaignJournal JSONL file (--resume)")
+    tail.add_argument(
+        "journal",
+        help="CampaignJournal JSONL file (--resume) or shard-store "
+        "directory (--store): a directory is rendered as the live "
+        "per-runner ownership map",
+    )
     tail.add_argument(
         "--follow", "-f", action="store_true",
         help="keep polling until the campaign's partitions are all done",

@@ -54,6 +54,16 @@ INVALID = "invalid"
 CHAOS = "chaos"
 INLINE_FALLBACK = "inline_fallback"
 JOURNAL_SKIP = "journal_skip"
+# Shared shard-store lifecycle (multi-runner campaigns, repro.sim.store):
+# claims, heartbeat renewals, steals from expired peers, losing a lease
+# to a stealer, first-write publishes, and converged duplicate publishes.
+LEASE_CLAIM = "lease_claim"
+LEASE_RENEW = "lease_renew"
+LEASE_STEAL = "lease_steal"
+LEASE_LOST = "lease_lost"
+PUBLISH = "publish"
+PUBLISH_CONFLICT = "publish_conflict"
+HOST_CHAOS = "host_chaos"
 
 #: Kinds rendered as instant markers on a timeline (everything that is a
 #: moment, not a region).
@@ -66,6 +76,13 @@ INSTANT_KINDS = (
     CHAOS,
     INLINE_FALLBACK,
     JOURNAL_SKIP,
+    LEASE_CLAIM,
+    LEASE_RENEW,
+    LEASE_STEAL,
+    LEASE_LOST,
+    PUBLISH,
+    PUBLISH_CONFLICT,
+    HOST_CHAOS,
 )
 
 

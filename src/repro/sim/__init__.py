@@ -1,6 +1,6 @@
 """Simulation engines: 4-valued event-driven, bit-parallel, fault simulation."""
 
-from .chaos import ChaosPlan
+from .chaos import ChaosPlan, HostChaosInjection, HostChaosPlan
 from .dispatch import (
     BACKEND_NAMES,
     FaultSimBackend,
@@ -14,6 +14,14 @@ from .dispatch import (
 )
 from .faultsim import FaultSimResult, FaultSimulator
 from .journal import CampaignJournal, CampaignKey, JournalMismatchError
+from .store import (
+    Lease,
+    ShardStore,
+    StoreCorruptionError,
+    StoreMismatchError,
+    read_store_progress,
+    validate_store_args,
+)
 from .supervisor import SupervisedPoolBackend, SupervisorConfig
 from .goodcache import DEFAULT_CACHE, GoodMachineCache
 from .logicsim import LogicSimulator
@@ -39,9 +47,17 @@ __all__ = [
     "SupervisedPoolBackend",
     "SupervisorConfig",
     "ChaosPlan",
+    "HostChaosInjection",
+    "HostChaosPlan",
     "CampaignJournal",
     "CampaignKey",
     "JournalMismatchError",
+    "Lease",
+    "ShardStore",
+    "StoreCorruptionError",
+    "StoreMismatchError",
+    "read_store_progress",
+    "validate_store_args",
     "BACKEND_NAMES",
     "get_backend",
     "merge_results",

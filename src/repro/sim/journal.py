@@ -98,7 +98,8 @@ class CampaignKey:
         )
 
 
-def _serialize_partial(index: int, partial: FaultSimResult) -> Dict[str, object]:
+def serialize_partial(index: int, partial: FaultSimResult) -> Dict[str, object]:
+    """JSON-safe form of one shard result (shared with :mod:`repro.sim.store`)."""
     return {
         "kind": "partition",
         "index": index,
@@ -117,7 +118,8 @@ def _serialize_partial(index: int, partial: FaultSimResult) -> Dict[str, object]
     }
 
 
-def _deserialize_partial(line: Dict[str, object]) -> FaultSimResult:
+def deserialize_partial(line: Dict[str, object]) -> FaultSimResult:
+    """Rebuild a :class:`FaultSimResult` from :func:`serialize_partial` output."""
     partial = FaultSimResult(total_faults=int(line["total"]))
     for gate, pin, value, first in line["detected"]:
         partial.detected[StuckAtFault(gate, pin, value)] = int(first)
@@ -130,6 +132,11 @@ def _deserialize_partial(line: Dict[str, object]) -> FaultSimResult:
     return partial
 
 
+# Backwards-compatible aliases (pre-store internal names).
+_serialize_partial = serialize_partial
+_deserialize_partial = deserialize_partial
+
+
 class CampaignJournal:
     """Append-only JSONL log of completed campaign partitions.
 
@@ -140,9 +147,14 @@ class CampaignJournal:
     section, which is what multi-campaign flows like ``run_atpg`` need.
     """
 
-    def __init__(self, path: str, strict: bool = False):
+    def __init__(self, path: str, strict: bool = False, durable: bool = True):
         self.path = str(path)
         self.strict = strict
+        # ``durable`` controls the power-loss story: section headers are
+        # written via fsync + atomic rename (never torn), and every shard
+        # line is fsynced after the flush.  Heartbeats stay flush-only —
+        # they are loss-tolerant progress gauges, not checkpoints.
+        self.durable = durable
         self._handle = None
         self._sections = 0
 
@@ -178,7 +190,7 @@ class CampaignJournal:
                 self._sections += 1
                 in_matching_section = line.get("key") == key_dict
             elif kind == "partition" and in_matching_section:
-                completed[int(line["index"])] = _deserialize_partial(line)
+                completed[int(line["index"])] = deserialize_partial(line)
         return completed
 
     # ------------------------------------------------------------------
@@ -195,12 +207,54 @@ class CampaignJournal:
                 f"none match this campaign (circuit, patterns, fault universe, "
                 f"seed, and partition count must all be identical)"
             )
-        self._append({"kind": "header", "version": JOURNAL_VERSION, "key": asdict(key)})
+        header = {"kind": "header", "version": JOURNAL_VERSION, "key": asdict(key)}
+        if self.durable:
+            self._write_section(header)
+        else:
+            self._append(header)
         return completed
+
+    def _write_section(self, header: Dict[str, object]) -> None:
+        """Append a section header via fsync + atomic rename.
+
+        A host power-loss mid-``begin`` must never leave a half-written
+        header (a torn *trailing* shard line is tolerated by readers, but
+        a torn header would orphan every line after it).  The prior file
+        content plus the new header is written to a sibling temp file,
+        fsynced, and renamed over the journal — the OS guarantees readers
+        see either the old intact file or the new one, never a mix.  As a
+        side effect any torn trailing line from a previous crash is
+        dropped here, so each section starts from a clean file.
+        """
+        self.close()
+        lines = self._read_lines()
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            for line in lines:
+                handle.write(json.dumps(line, separators=(",", ":")) + "\n")
+            handle.write(json.dumps(header, separators=(",", ":")) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        self._fsync_dir()
+
+    def _fsync_dir(self) -> None:
+        """Make the rename itself durable (the directory entry)."""
+        directory = os.path.dirname(os.path.abspath(self.path))
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platforms without dir fds
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     def record(self, index: int, partial: FaultSimResult) -> None:
         """Durably append one completed partition result."""
-        self._append(_serialize_partial(index, partial))
+        self._append(serialize_partial(index, partial))
+        if self.durable:
+            os.fsync(self._handle.fileno())
 
     def heartbeat(self, **fields: object) -> None:
         """Append one progress line (``kind: heartbeat``) to the journal.

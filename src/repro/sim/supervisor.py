@@ -53,6 +53,7 @@ from ..obs.events import (
     CHAOS,
     CRASH,
     HEARTBEAT,
+    HOST_CHAOS,
     INLINE_FALLBACK,
     INVALID,
     JOURNAL_SKIP,
@@ -63,7 +64,14 @@ from ..obs.events import (
     EventLog,
 )
 from . import shm
-from .chaos import ChaosPlan
+from .chaos import (
+    HOST_KILL_EXIT_CODE,
+    KILL,
+    PARTITION,
+    STALL,
+    ChaosPlan,
+    HostChaosPlan,
+)
 from .dispatch import (
     FaultSimBackend,
     default_partition_count,
@@ -74,6 +82,7 @@ from .dispatch import (
 )
 from .faultsim import FaultSimResult, FaultSimulator, _unique
 from .journal import CampaignJournal, CampaignKey
+from .store import Lease, ShardStore
 
 
 @dataclass
@@ -140,7 +149,7 @@ def validate_partial(
 
 
 def _supervised_worker(conn, index, attempt, shard, drop, netlist,
-                       arena_spec, meta, chaos) -> None:
+                       arena_spec, meta, chaos, good_chunks=None) -> None:
     """Worker entry: grade one shard, send (status, payload), exit.
 
     Runs in its own process; the netlist arrives by copy-on-write under
@@ -150,6 +159,11 @@ def _supervised_worker(conn, index, attempt, shard, drop, netlist,
     exception — including injected chaos — is reported as an ``error``
     message so the supervisor need not wait for a timeout to learn about
     it.  Workers never unlink the arena; the parent owns it.
+
+    Store-mode campaigns pass ``good_chunks`` directly (inherited by
+    ``fork`` copy-on-write) and no arena: a host-level ``kill`` injection
+    terminates the parent with ``os._exit``, which would leak any shared
+    segment the parent owned — with no arena there is nothing to leak.
     """
     status, payload = "error", "worker exited without result"
     n_patterns = meta["n_patterns"]
@@ -161,9 +175,10 @@ def _supervised_worker(conn, index, attempt, shard, drop, netlist,
         )
         if chaos is not None:
             chaos.execute_pre(index, attempt)
-        # The arena (and with it every zero-copy good-block view) must
-        # outlive the simulation; the process exit reclaims the mapping.
-        _, good_chunks = shm.attach_campaign(arena_spec, meta)
+        if arena_spec is not None:
+            # The arena (and with it every zero-copy good-block view) must
+            # outlive the simulation; the process exit reclaims the mapping.
+            _, good_chunks = shm.attach_campaign(arena_spec, meta)
         simulator = FaultSimulator(
             netlist,
             word_width=meta["word_width"],
@@ -225,8 +240,15 @@ class SupervisedPoolBackend(FaultSimBackend):
         config: Optional[SupervisorConfig] = None,
         chaos: Optional[ChaosPlan] = None,
         journal: Optional[CampaignJournal] = None,
+        store: Optional[ShardStore] = None,
+        host_chaos: Optional[HostChaosPlan] = None,
     ):
         validate_pool_args(jobs=jobs, seed=seed, partitions=partitions)
+        if host_chaos is not None and store is None:
+            raise ValueError(
+                "host-level chaos targets runners of a shared store; "
+                "pass store= as well (or use worker-level chaos=)"
+            )
         self.jobs = jobs
         self.seed = seed
         self.partitions = partitions
@@ -234,12 +256,16 @@ class SupervisedPoolBackend(FaultSimBackend):
         self.config.validate()
         self.chaos = chaos
         self.journal = journal
+        self.store = store
+        self.host_chaos = host_chaos
 
     # ------------------------------------------------------------------
     # Main entry
     # ------------------------------------------------------------------
 
     def run(self, simulator, patterns, faults, drop=True):
+        if self.store is not None:
+            return self._run_store(simulator, patterns, faults, drop)
         start_time = time.perf_counter()
         universe = _unique(faults)
         jobs = self.jobs if self.jobs is not None else (os.cpu_count() or 1)
@@ -455,15 +481,22 @@ class SupervisedPoolBackend(FaultSimBackend):
                 self.journal.flush()
             raise
 
-    def _spawn(self, simulator, arena, meta, shard, drop, index, attempt):
-        """Start one worker process for one shard attempt."""
+    def _spawn(self, simulator, arena, meta, shard, drop, index, attempt,
+               good_chunks=None):
+        """Start one worker process for one shard attempt.
+
+        ``arena`` may be ``None`` (store mode), in which case the caller
+        supplies ``good_chunks`` directly — free under ``fork`` (COW),
+        pickled through the process args on platforms without it.
+        """
         context = self._context()
         parent_conn, child_conn = context.Pipe(duplex=False)
         process = context.Process(
             target=_supervised_worker,
             args=(
                 child_conn, index, attempt, shard, drop, simulator.netlist,
-                arena.spec, meta, self.chaos,
+                arena.spec if arena is not None else None, meta, self.chaos,
+                good_chunks,
             ),
             daemon=True,
         )
@@ -550,6 +583,440 @@ class SupervisedPoolBackend(FaultSimBackend):
                 "reason": reason,
             }
         )
+
+    # ------------------------------------------------------------------
+    # Shared-store mode (multi-runner campaigns)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _claim_order(n_shards: int, runner_id: str) -> List[int]:
+        """Shard visit order for claims, staggered per runner id.
+
+        N runners launched together would otherwise all race shard 0,
+        lose N-1 claims, race shard 1, and so on.  A deterministic
+        per-runner offset (``hash()`` is salted per process, so a byte
+        sum instead) spreads the fleet across the shard space while
+        keeping each runner's order reproducible.
+        """
+        if n_shards == 0:
+            return []
+        offset = sum(runner_id.encode()) % n_shards
+        return [(offset + i) % n_shards for i in range(n_shards)]
+
+    def _run_store(self, simulator, patterns, faults, drop):
+        """Cooperatively execute one campaign over a shared shard store.
+
+        The single-runner path above owns its shards outright; here every
+        shard is *claimed* from the store under a heartbeat-renewed lease,
+        so any number of independently launched runner processes share the
+        campaign and steal from dead peers.  Three deliberate differences,
+        each load-bearing:
+
+        * no /dev/shm arena — the good-machine response reaches workers by
+          ``fork`` copy-on-write, because a host-level ``kill`` injection
+          exits with ``os._exit`` and would leak any segment this parent
+          owned;
+        * grading runs in child processes, so this supervision loop stays
+          free to renew leases however long a shard takes;
+        * the final merge reads *only* the store's published result files —
+          including for shards graded here — so every runner's merged
+          result is bit-identical to every other's (and to a clean
+          single-runner run) by construction.
+        """
+        start_time = time.perf_counter()
+        config = self.config
+        store = self.store
+        universe = _unique(faults)
+        jobs = self.jobs if self.jobs is not None else (os.cpu_count() or 1)
+        jobs = max(1, jobs)
+        n_partitions = (
+            self.partitions
+            if self.partitions is not None
+            else default_partition_count(len(universe))
+        )
+        shards = partition_faults(universe, n_partitions, self.seed)
+        n_patterns = len(patterns)
+        key = CampaignKey.build(
+            simulator.netlist, patterns, universe, self.seed, len(shards), drop
+        )
+        store.initialize(key, len(shards))
+        events = store.events  # one timeline: lease events + supervision
+        injection = (
+            self.host_chaos.for_runner(store.runner_id)
+            if self.host_chaos is not None
+            else None
+        )
+        meta = {
+            "n_patterns": n_patterns,
+            "word_width": simulator.word_width,
+            "kernel": simulator.kernel,
+        }
+
+        counters = {
+            "retries": 0,
+            "worker_crashes": 0,
+            "timeouts": 0,
+            "invalid_results": 0,
+            "inline_fallbacks": 0,
+        }
+        sources: Dict[int, str] = {}
+        attempts_used: Dict[int, int] = {}
+        metrics_lost: Dict[int, int] = {}
+        failed: List[Dict[str, object]] = []
+        leases: Dict[int, Lease] = {}
+        abandoned: set = set()
+        pending: List[Tuple[int, int, float]] = []
+        running: List[_Slot] = []
+        publish_queue: Dict[int, FaultSimResult] = {}
+        faults_total = sum(len(shard) for shard in shards)
+        state = {
+            "published": 0,       # store.publish calls that landed
+            "wins": 0,            # ... that won first-write
+            "graded_faults": 0,   # faults graded by this runner
+            "chaos_fired": False,
+            "window_mode": None,  # live stall/partition window
+            "window_until": 0.0,
+        }
+
+        # The good response is only computed when this runner actually
+        # grades something: a runner that finds the campaign already
+        # finished by peers pays nothing but the merge.
+        good_state: Dict[str, object] = {}
+
+        def good_chunks():
+            if "chunks" not in good_state:
+                t0 = time.perf_counter()
+                parallel = simulator.parallel
+                passes0 = parallel.evaluations
+                good_state["chunks"] = simulator.good_response(patterns)
+                good_state["words"] = (
+                    (parallel.evaluations - passes0) * parallel.num_scheduled
+                )
+                good_state["seconds"] = time.perf_counter() - t0
+            return good_state["chunks"]
+
+        def store_reachable(now: float) -> bool:
+            return not (
+                state["window_mode"] == PARTITION and now < state["window_until"]
+            )
+
+        def renewals_allowed(now: float) -> bool:
+            return not (
+                state["window_mode"] in (STALL, PARTITION)
+                and now < state["window_until"]
+            )
+
+        def maybe_fire_host_chaos() -> None:
+            if injection is None or state["chaos_fired"]:
+                return
+            if state["published"] < injection.after_publishes:
+                return
+            state["chaos_fired"] = True
+            events.emit(
+                HOST_CHAOS, f"host_chaos:{injection.mode}",
+                runner=store.runner_id, mode=injection.mode,
+                after_publishes=injection.after_publishes,
+                duration_s=injection.duration_s,
+            )
+            if injection.mode == KILL:
+                # A host death: no lease release, no cleanup — peers must
+                # steal the expired leases.  Flush telemetry only, so the
+                # postmortem shows what this runner was holding.
+                store.write_events()
+                if self.journal is not None:
+                    self.journal.flush()
+                os._exit(HOST_KILL_EXIT_CODE)
+            state["window_mode"] = injection.mode
+            state["window_until"] = (
+                float("inf")
+                if injection.duration_s == 0
+                else time.monotonic() + injection.duration_s
+            )
+
+        def publish(index: int, partial: FaultSimResult) -> None:
+            if store.publish(index, partial):
+                state["wins"] += 1
+            state["published"] += 1
+            lease = leases.pop(index, None)
+            if lease is not None:
+                store.release(lease)
+            done = store.done_indices()
+            events.emit(
+                HEARTBEAT, "progress",
+                partition=index,
+                faults_graded=state["graded_faults"],
+                faults_total=faults_total,
+                partitions_done=len(done),
+                partitions_total=len(shards),
+            )
+            if self.journal is not None:
+                self.journal.heartbeat(
+                    partition=index,
+                    source=sources.get(index, "worker"),
+                    faults_graded=state["graded_faults"],
+                    faults_total=faults_total,
+                    partitions_done=len(done),
+                    partitions_total=len(shards),
+                )
+
+        def record(index: int, partial: FaultSimResult, source: str,
+                   attempt: int) -> None:
+            sources[index] = source
+            attempts_used[index] = attempt + 1
+            state["graded_faults"] += partial.total_faults
+            worker_payload = partial.stats.get("worker_events")
+            if worker_payload:
+                # Stitch the worker's timeline here: the serialized store
+                # record keeps only the deterministic stats, so this is
+                # the only place the per-attempt events survive.
+                events.ingest(worker_payload)
+            if self.journal is not None:
+                self.journal.record(index, partial)
+            if not store_reachable(time.monotonic()):
+                publish_queue[index] = partial  # lands late, converges
+                return
+            publish(index, partial)
+
+        def fail(slot: _Slot, reason: str) -> None:
+            attempt = slot.attempt
+            if attempt < config.max_retries:
+                counters["retries"] += 1
+                events.emit(
+                    RETRY, "retry",
+                    partition=slot.index, attempt=attempt, reason=reason[:200],
+                )
+                eligible = time.monotonic() + config.backoff_s * (2 ** attempt)
+                pending.append((slot.index, attempt + 1, eligible))
+                return
+            n_failed = len(failed)
+            self._finish_poisoned(
+                simulator, n_patterns, good_chunks(), shards, drop, slot.index,
+                attempt, reason, record, failed, counters, events,
+            )
+            if len(failed) > n_failed:
+                # Locally poisoned: hand the shard back so a peer (with a
+                # healthier host) can try it; only if nobody can does the
+                # campaign degrade to a coverage lower bound.
+                lease = leases.pop(slot.index, None)
+                if lease is not None:
+                    store.release(lease)
+                abandoned.add(slot.index)
+
+        journal_skipped = 0
+        if self.journal is not None and shards:
+            # Resume: journaled shards of this same campaign are published
+            # straight to the store — no re-grading; first-write-wins makes
+            # the replay idempotent against peers that got there first.
+            for index, partial in self.journal.begin(key).items():
+                if index >= len(shards) or store.is_done(index):
+                    continue
+                if validate_partial(partial, shards[index], n_patterns) is None:
+                    sources[index] = "journal"
+                    journal_skipped += 1
+                    events.emit(JOURNAL_SKIP, "journal_skip", partition=index)
+                    publish(index, partial)
+
+        try:
+            while True:
+                now = time.monotonic()
+                if state["window_mode"] is not None and now >= state["window_until"]:
+                    state["window_mode"] = None
+                maybe_fire_host_chaos()
+                now = time.monotonic()
+
+                # Renew leases we hold before peers can deem them expired.
+                if leases and renewals_allowed(now):
+                    for index, lease in list(leases.items()):
+                        if store.needs_renewal(lease):
+                            renewed = store.renew(lease)
+                            if renewed is None:
+                                # Stolen (we renewed too late).  Keep
+                                # grading: the duplicate publish converges
+                                # first-write-wins, and aborting now would
+                                # waste the work if the stealer dies too.
+                                leases.pop(index, None)
+                            else:
+                                leases[index] = renewed
+
+                for slot in list(running):
+                    outcome = self._poll_slot(slot, now)
+                    if outcome is None:
+                        continue
+                    running.remove(slot)
+                    status, payload = outcome
+                    if status == "ok":
+                        reason = validate_partial(
+                            payload, shards[slot.index], n_patterns
+                        )
+                        if reason is None:
+                            record(slot.index, payload, "worker", slot.attempt)
+                        else:
+                            counters["invalid_results"] += 1
+                            metrics_lost[slot.index] = (
+                                metrics_lost.get(slot.index, 0) + 1
+                            )
+                            events.emit(
+                                INVALID, "invalid_result",
+                                partition=slot.index, attempt=slot.attempt,
+                                reason=reason,
+                            )
+                            fail(slot, f"invalid result: {reason}")
+                    else:
+                        metrics_lost[slot.index] = (
+                            metrics_lost.get(slot.index, 0) + 1
+                        )
+                        if status == "timeout":
+                            counters["timeouts"] += 1
+                            events.emit(
+                                TIMEOUT, "timeout_kill",
+                                partition=slot.index, attempt=slot.attempt,
+                                deadline_s=self.config.timeout_s,
+                            )
+                        else:
+                            counters["worker_crashes"] += 1
+                            events.emit(
+                                CRASH, "worker_crash",
+                                partition=slot.index, attempt=slot.attempt,
+                                reason=str(payload)[:200],
+                            )
+                        fail(slot, payload)
+
+                now = time.monotonic()
+                if publish_queue and store_reachable(now):
+                    # The partition window healed: queued results land
+                    # late and converge idempotently against any peer
+                    # that graded the same shards meanwhile.
+                    for index in sorted(publish_queue):
+                        publish(index, publish_queue.pop(index))
+
+                # Claim work from the store (stealing expired leases as a
+                # side effect), at most one shard per free slot.
+                if store_reachable(now):
+                    busy = {slot.index for slot in running}
+                    busy.update(item[0] for item in pending)
+                    if len(busy) < jobs:
+                        done = store.done_indices()
+                        for index in self._claim_order(
+                            len(shards), store.runner_id
+                        ):
+                            if len(busy) >= jobs:
+                                break
+                            if (
+                                index in done
+                                or index in busy
+                                or index in abandoned
+                                or index in leases
+                                or index in publish_queue
+                            ):
+                                continue
+                            lease = store.try_claim(index)
+                            if lease is None:
+                                continue  # done, live peer, or lost race
+                            leases[index] = lease
+                            pending.append((index, 0, 0.0))
+                            busy.add(index)
+
+                pending.sort(key=lambda item: (item[2], item[0]))
+                while len(running) < jobs and pending and pending[0][2] <= now:
+                    index, attempt, _ = pending.pop(0)
+                    if store_reachable(now) and store.is_done(index):
+                        # A peer finished it between claim and spawn
+                        # (stall/steal overlap): don't grade it again.
+                        lease = leases.pop(index, None)
+                        if lease is not None:
+                            store.release(lease)
+                        continue
+                    if self.chaos is not None:
+                        mode = self.chaos.mode_for(index, attempt)
+                        if mode is not None:
+                            events.emit(
+                                CHAOS, f"chaos:{mode}",
+                                partition=index, attempt=attempt, mode=mode,
+                            )
+                    running.append(
+                        self._spawn(
+                            simulator, None, meta, shards[index], drop,
+                            index, attempt, good_chunks=good_chunks(),
+                        )
+                    )
+
+                if (
+                    not running and not pending and not publish_queue
+                    and store_reachable(time.monotonic())
+                ):
+                    done = store.done_indices()
+                    if len(done) >= len(shards):
+                        break  # campaign complete (by us, peers, or both)
+                    un_done = [i for i in range(len(shards)) if i not in done]
+                    if un_done and all(i in abandoned for i in un_done):
+                        # Every remaining shard is poisoned *here*; only
+                        # degrade once no live peer still holds any of
+                        # them — a peer might yet publish.
+                        held = store.leases()
+                        wall = store.clock()
+                        live_peer = any(
+                            index in held
+                            and held[index].deadline > wall
+                            and held[index].runner != store.runner_id
+                            for index in un_done
+                        )
+                        if not live_peer:
+                            break  # graceful degradation: lower bound
+                time.sleep(config.poll_interval_s)
+        except BaseException:
+            # KeyboardInterrupt or anything else: reap children, give the
+            # held leases back immediately (peers should not wait out the
+            # deadline for a runner that exited cleanly), flush telemetry.
+            self._terminate(running)
+            for lease in leases.values():
+                store.release(lease)
+            leases.clear()
+            if self.journal is not None:
+                self.journal.flush()
+            store.write_events()
+            raise
+
+        self._terminate(running)
+        for lease in leases.values():
+            store.release(lease)
+        leases.clear()
+        swept = store.sweep()
+        store.write_events()
+
+        # Merge exclusively from the store's published bytes — shards this
+        # runner graded included — so all runners converge bit-identically.
+        results = store.load_results()
+        for index in results:
+            sources.setdefault(index, "peer")
+        result = merge_results(
+            [results[i] for i in sorted(results)], universe, n_patterns, drop
+        )
+        counters["steals"] = store.steals
+        counters["publish_conflicts"] = store.publish_conflicts
+        self._fill_stats(
+            result, results, failed, shards, jobs,
+            good_state.get("seconds", 0.0), good_state.get("words", 0),
+            start_time, counters, sources, attempts_used, journal_skipped,
+            simulator, events, metrics_lost,
+        )
+        graded_here = sum(
+            1 for source in sources.values() if source != "peer"
+        )
+        result.stats["store"] = {
+            "path": store.root,
+            "runner_id": store.runner_id,
+            "lease_s": store.lease_s,
+            "n_shards": len(shards),
+            "shards_graded_here": graded_here,
+            "published": state["wins"],
+            "publish_conflicts": store.publish_conflicts,
+            "steals": store.steals,
+            "leases_swept": swept,
+            "finished_by_peers": (
+                state["wins"] == 0 and len(results) >= len(shards)
+            ),
+        }
+        return result
 
     # ------------------------------------------------------------------
     # Process plumbing
