@@ -1,4 +1,5 @@
-"""Test generation: PODEM, random/weighted patterns, compaction, TDF ATPG."""
+"""Test generation: PODEM / D-algorithm / guided engines and their
+per-fault portfolio, random/weighted patterns, compaction, TDF ATPG."""
 
 from .compaction import (
     care_bit_stats,
@@ -7,8 +8,17 @@ from .compaction import (
     reverse_order_compact,
     static_compact,
 )
+from .dalg import DAlgorithm
 from .engine import AtpgResult, atpg_table_row, run_atpg, x_fill
+from .guided import GuidedPodem
 from .podem import Podem, PodemResult
+from .portfolio import (
+    ENGINE_NAMES,
+    PORTFOLIO_MEMBERS,
+    PortfolioAtpg,
+    PortfolioResult,
+    make_engine,
+)
 from .random_gen import exhaustive_patterns, random_patterns, weighted_random_patterns
 from .scoap import Testability, compute_testability, hardest_lines
 from .tdf import TdfAtpgResult, random_loc_pairs, run_tdf_atpg
@@ -23,6 +33,13 @@ from .timeframe import (
 __all__ = [
     "Podem",
     "PodemResult",
+    "DAlgorithm",
+    "GuidedPodem",
+    "PortfolioAtpg",
+    "PortfolioResult",
+    "make_engine",
+    "ENGINE_NAMES",
+    "PORTFOLIO_MEMBERS",
     "run_atpg",
     "AtpgResult",
     "atpg_table_row",

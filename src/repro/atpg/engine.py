@@ -28,7 +28,7 @@ from ..faults.stuck_at import full_fault_list
 from ..sim.faultsim import FaultSimulator
 from ..sim.parallel import WORD_WIDTH
 from .compaction import care_bit_stats, static_compact
-from .podem import Podem
+from .portfolio import make_engine
 from .random_gen import random_patterns
 
 
@@ -77,6 +77,16 @@ class AtpgResult:
     consistency_errors: List[StuckAtFault] = field(default_factory=list)
     random_pattern_count: int = 0
     cpu_seconds: float = 0.0
+    #: Deterministic engine used for phase 2 ("podem", "dalg", "guided",
+    #: or "portfolio").
+    engine: str = "podem"
+    #: Engine that settled each deterministic fault (detected or proved
+    #: untestable), keyed by engine name.  For single engines the only
+    #: key is the engine itself; the portfolio attributes per member.
+    winner_engines: Dict[str, int] = field(default_factory=dict)
+    #: Per-engine abort reasons for faults no engine settled — the audit
+    #: trail that makes every abort explained, never silent.
+    engine_abort_reasons: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def detected(self) -> int:
@@ -108,8 +118,17 @@ class AtpgResult:
             "random_patterns": self.random_pattern_count,
             "cpu_s": round(self.cpu_seconds, 3),
         }
+        summary["proved_untestable"] = len(self.untestable)
+        summary["engine"] = self.engine
         if self.abort_reasons.get("time"):
             summary["aborted_timeout"] = self.abort_reasons["time"]
+        if self.winner_engines:
+            summary["winner_engine"] = dict(sorted(self.winner_engines.items()))
+        if self.engine_abort_reasons:
+            summary["engine_abort_reasons"] = {
+                name: dict(sorted(reasons.items()))
+                for name, reasons in sorted(self.engine_abort_reasons.items())
+            }
         if self.consistency_errors:
             summary["consistency_errors"] = len(self.consistency_errors)
         return summary
@@ -131,6 +150,7 @@ def run_atpg(
     kernel: str = "python",
     podem_time_budget_s: Optional[float] = None,
     journal: Optional[str] = None,
+    engine: str = "podem",
 ) -> AtpgResult:
     """Run the full stuck-at ATPG flow on ``netlist``.
 
@@ -150,7 +170,12 @@ def run_atpg(
     section).  ``podem_time_budget_s`` caps each PODEM search's wall
     clock, so one pathological fault aborts (counted separately in
     :meth:`AtpgResult.summary` — aborted is not untestable) instead of
-    stalling the campaign.  ``word_width`` sets the patterns packed per
+    stalling the campaign; it applies to whichever deterministic
+    ``engine`` runs phase 2 (the portfolio splits it across members).
+    ``engine`` picks the deterministic generator — ``"podem"`` (default),
+    ``"dalg"`` (D-algorithm, proves untestability), ``"guided"``
+    (SCOAP-guided restarts), or ``"portfolio"`` (all three raced per
+    fault; see :mod:`repro.atpg.portfolio`).  ``word_width`` sets the patterns packed per
     simulation word and ``kernel`` the gate-evaluation backend
     (``"python"`` bigints or ``"numpy"`` uint64 lanes — see
     :mod:`repro.sim.npsim`); results are identical for every width and
@@ -164,7 +189,7 @@ def run_atpg(
         faults, _ = collapse_faults(netlist, full_fault_list(netlist))
     simulator = FaultSimulator(netlist, word_width=word_width, kernel=kernel)
     rng = random.Random(seed)
-    result = AtpgResult(total_faults=len(faults))
+    result = AtpgResult(total_faults=len(faults), engine=engine)
     remaining = list(faults)
     n_inputs = simulator.view.num_inputs
 
@@ -211,9 +236,10 @@ def run_atpg(
                 break
 
     # ------------------------------------------------------------------
-    # Phase 2: deterministic PODEM with dynamic fault dropping.
+    # Phase 2: deterministic generation with dynamic fault dropping.
     # ------------------------------------------------------------------
-    podem = Podem(
+    generator = make_engine(
+        engine,
         netlist,
         backtrack_limit=backtrack_limit,
         time_budget_s=podem_time_budget_s,
@@ -226,7 +252,13 @@ def run_atpg(
         for fault in queue:
             if fault not in undetected:
                 continue
-            outcome = podem.generate(fault)
+            outcome = generator.generate(fault)
+            winner = getattr(outcome, "winner", None)
+            if outcome.status != "aborted":
+                settled_by = winner or engine
+                result.winner_engines[settled_by] = (
+                    result.winner_engines.get(settled_by, 0) + 1
+                )
             if outcome.status == "untestable":
                 result.untestable.append(fault)
                 undetected.discard(fault)
@@ -237,6 +269,16 @@ def run_atpg(
                 result.abort_reasons[reason] = (
                     result.abort_reasons.get(reason, 0) + 1
                 )
+                per_engine = getattr(outcome, "engine_reasons", None) or {
+                    engine: reason
+                }
+                for member, member_reason in per_engine.items():
+                    member_counts = result.engine_abort_reasons.setdefault(
+                        member, {}
+                    )
+                    member_counts[member_reason] = (
+                        member_counts.get(member_reason, 0) + 1
+                    )
                 undetected.discard(fault)
                 continue
             cube = outcome.cube
@@ -318,6 +360,11 @@ def _publish_atpg(result: AtpgResult) -> None:
             "cubes": len(result.cubes),
         },
     )
+    if result.winner_engines:
+        observation.add_counters(
+            "atpg.winner",
+            {name: count for name, count in sorted(result.winner_engines.items())},
+        )
     obs.set_gauge("atpg.fault_coverage", result.fault_coverage)
     obs.set_gauge("atpg.test_coverage", result.test_coverage)
 

@@ -308,12 +308,12 @@ class Podem:
             return None
         if not self._x_path_exists(frontier, values):
             return None
-        # Scan frontier gates easiest-to-observe first.  A driver is a valid
-        # objective whenever *either* rail is unknown: the dual-rail model
-        # can know the good value while the faulty rail (downstream of the
-        # fault through reconvergence) is still X, and resolving that rail
-        # also goes through PI assignments.
-        for best in sorted(frontier, key=lambda g: self.measures.co[g]):
+        # Scan frontier gates in heuristic order (see _rank_frontier).  A
+        # driver is a valid objective whenever *either* rail is unknown:
+        # the dual-rail model can know the good value while the faulty
+        # rail (downstream of the fault through reconvergence) is still X,
+        # and resolving that rail also goes through PI assignments.
+        for best in self._rank_frontier(frontier, values):
             gate = self.netlist.gates[best]
             noncontrol = noncontrolling_value(gate.type)
             for driver in gate.fanin:
@@ -325,6 +325,18 @@ class Podem:
                         target = good_rail(values[driver])
                     return (driver, target)
         return None
+
+    def _rank_frontier(
+        self, frontier: Sequence[int], values: List[int]
+    ) -> List[int]:
+        """Order D-frontier gates for objective selection.
+
+        Classic PODEM attacks the easiest-to-observe gate first; the
+        SCOAP-guided engine overrides this with a full detect-cost
+        ranking over the current implication state (and rotates it
+        across restarts).
+        """
+        return sorted(frontier, key=lambda g: self.measures.co[g])
 
     def _backtrace(
         self, gate_index: int, value: int, values: List[int]
@@ -391,6 +403,32 @@ class Podem:
 
     def generate(self, fault: StuckAtFault) -> PodemResult:
         """Attempt to generate a test cube detecting ``fault``."""
+        deadline = (
+            None
+            if self.time_budget_s is None
+            else time.perf_counter() + self.time_budget_s
+        )
+        return self._search(fault, self.backtrack_limit, deadline)
+
+    def _abort_reason(self, deadline: Optional[float]) -> str:
+        """Reason for an abort at the backtrack-budget trip point.
+
+        Both budgets can trip in the same step (the backtrack that blows
+        the decision budget can also be the first check past the wall
+        deadline); report whichever budget was exhausted *first* — the
+        wall clock ran out before this backtrack was even counted.
+        """
+        if deadline is not None and time.perf_counter() > deadline:
+            return "time"
+        return "backtracks"
+
+    def _search(
+        self,
+        fault: StuckAtFault,
+        backtrack_limit: int,
+        deadline: Optional[float],
+    ) -> PodemResult:
+        """One budgeted PODEM search (``generate`` minus budget setup)."""
         n_inputs = self.view.num_inputs
         assignment = [X] * n_inputs
         self._cone_gates, self._cone_readers = self._fault_cone(fault)
@@ -400,11 +438,6 @@ class Podem:
         values = self._initial_values(fault)
         decision_stack: List[Tuple[int, int, bool]] = []  # (pos, value, flipped)
         backtracks = 0
-        deadline = (
-            None
-            if self.time_budget_s is None
-            else time.perf_counter() + self.time_budget_s
-        )
 
         while True:
             if self._detected(fault, values):
@@ -429,9 +462,11 @@ class Podem:
                 continue
             # Dead end: backtrack.
             backtracks += 1
-            if backtracks > self.backtrack_limit:
+            if backtracks > backtrack_limit:
                 return PodemResult(
-                    status="aborted", backtracks=backtracks, reason="backtracks"
+                    status="aborted",
+                    backtracks=backtracks,
+                    reason=self._abort_reason(deadline),
                 )
             while decision_stack:
                 position, value, flipped = decision_stack.pop()

@@ -41,7 +41,7 @@ from typing import List, Optional
 import time
 
 from . import obs
-from .atpg import atpg_table_row, run_atpg
+from .atpg import ENGINE_NAMES, atpg_table_row, run_atpg
 from .obs import regress
 from .obs.regress import RegressConfig
 from .bist.lbist import StumpsController
@@ -132,6 +132,7 @@ def _cmd_atpg(args) -> int:
         kernel=args.kernel,
         podem_time_budget_s=args.podem_budget,
         journal=args.resume,
+        engine=args.engine,
     )
     row = atpg_table_row(netlist, result)
     for key, value in row.items():
@@ -640,6 +641,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_arguments(atpg)
     atpg.add_argument("--seed", type=_nonnegative_int, default=0)
     atpg.add_argument("--backtrack-limit", type=_positive_int, default=64)
+    atpg.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default="podem",
+        help="deterministic phase-2 generator: classic PODEM, the "
+        "D-algorithm (proves untestability), SCOAP-guided PODEM, or "
+        "the per-fault portfolio racing all three",
+    )
     atpg.add_argument(
         "--podem-budget",
         type=_positive_float,

@@ -20,8 +20,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from .. import obs
-from ..atpg.podem import Podem
 from ..atpg.engine import x_fill
+from ..atpg.portfolio import make_engine
 from ..atpg.random_gen import random_patterns
 from ..faults.collapse import collapse_faults
 from ..faults.model import StuckAtFault
@@ -92,14 +92,17 @@ def run_compressed_atpg(
     jobs: Optional[int] = None,
     word_width: int = WORD_WIDTH,
     kernel: str = "python",
+    engine: str = "podem",
 ) -> CompressedAtpgResult:
     """Generate compressed patterns with fault dropping on decompressed data.
 
     Phase 1 applies PRPG-style random *encoded* patterns (random channel
     data expanded through the decompressor — free on a real tester).
-    Phase 2 runs PODEM per surviving fault, encodes the cube, expands it,
-    and fault-simulates the expansion; unencodable cubes fall back to an
-    X-filled bypass pattern.
+    Phase 2 runs the deterministic ``engine`` (``podem``/``dalg``/
+    ``guided``/``portfolio``, see :mod:`repro.atpg.portfolio`) per
+    surviving fault, encodes the cube, expands it, and fault-simulates
+    the expansion; unencodable cubes fall back to an X-filled bypass
+    pattern.
 
     With ``grade`` set, the finished pattern set is re-graded from scratch
     against the full fault universe on the chosen ``backend``/``jobs``
@@ -151,13 +154,13 @@ def run_compressed_atpg(
     # ------------------------------------------------------------------
     # Phase 2: deterministic cubes, encoded one at a time.
     # ------------------------------------------------------------------
-    podem = Podem(netlist, backtrack_limit=backtrack_limit)
+    generator = make_engine(engine, netlist, backtrack_limit=backtrack_limit)
     undetected = set(remaining)
     with obs.span("compression_encode"):
         for fault in remaining:
             if fault not in undetected:
                 continue
-            outcome = podem.generate(fault)
+            outcome = generator.generate(fault)
             if outcome.status == "untestable":
                 result.untestable += 1
                 undetected.discard(fault)

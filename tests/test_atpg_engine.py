@@ -103,3 +103,38 @@ class TestFaultAccounting:
         result = run_atpg(c17, faults=faults, seed=1)
         assert result.total_faults == 8
         assert result.test_coverage == 1.0
+
+
+class TestEngineFlow:
+    """The --engine axis through the full campaign flow."""
+
+    @pytest.mark.parametrize("engine", ["podem", "dalg", "guided", "portfolio"])
+    def test_full_test_coverage_any_engine(self, alu4, engine):
+        result = run_atpg(alu4, seed=1, engine=engine)
+        assert result.test_coverage == 1.0
+        summary = result.summary()
+        assert summary["engine"] == engine
+        assert summary["proved_untestable"] == len(result.untestable)
+
+    def test_portfolio_summary_records_winners(self, alu4):
+        result = run_atpg(alu4, seed=1, engine="portfolio")
+        summary = result.summary()
+        assert "winner_engine" in summary
+        assert set(summary["winner_engine"]) <= {"podem", "guided", "dalg"}
+        assert sum(summary["winner_engine"].values()) >= len(result.untestable)
+
+    def test_unknown_engine_rejected(self, c17):
+        with pytest.raises(ValueError, match="engine"):
+            run_atpg(c17, engine="quantum")
+
+    def test_compressed_flow_takes_engine(self):
+        from repro.compression import EdtSystem, run_compressed_atpg
+        from repro.circuit import generators
+        from repro.dft import wrap_core
+        from repro.scan import insert_scan
+
+        core = generators.systolic_pe(2)
+        design = insert_scan(wrap_core(core).netlist, n_chains=4)
+        edt = EdtSystem(design, n_input_channels=2, n_output_channels=2)
+        flow = run_compressed_atpg(edt, seed=1, engine="portfolio")
+        assert flow.summary()["test_coverage"] == 1.0

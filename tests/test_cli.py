@@ -25,6 +25,32 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "100.00%" in out
 
+    @pytest.mark.parametrize("engine", ["podem", "dalg", "guided", "portfolio"])
+    def test_atpg_engine_selection(self, tmp_path, capsys, engine):
+        pattern_file = tmp_path / f"c17_{engine}.pat"
+        assert (
+            main(
+                [
+                    "atpg",
+                    "c17",
+                    "-o",
+                    str(pattern_file),
+                    "--seed",
+                    "3",
+                    "--engine",
+                    engine,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "test_coverage: 1.0" in out
+        assert f"engine: {engine}" in out
+
+    def test_atpg_rejects_unknown_engine(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["atpg", "c17", "--engine", "quantum"])
+
     def test_atpg_on_bench_file(self, tmp_path, capsys):
         from repro.circuit.bench import save_bench
         from repro.circuit import benchmarks

@@ -24,6 +24,8 @@ and regression-pin tests.
 import functools
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.atpg.random_gen import random_patterns
 from repro.circuit import benchmarks, generators
@@ -31,6 +33,8 @@ from repro.faults import collapse_faults, full_fault_list
 from repro.sim.dispatch import BACKEND_NAMES
 from repro.sim.faultsim import FaultSimulator
 from repro.sim.parallel import KERNELS, WORD_WIDTH
+
+from tests.oracle_util import small_netlists
 
 #: ≥7 circuits: combinational, arithmetic, and full-scan sequential.
 CIRCUIT_FACTORIES = (
@@ -211,3 +215,50 @@ class TestResponseConformance:
             netlist, word_width=width, cache=None, kernel="numpy"
         )
         assert numpy.responses(patterns) == python.responses(patterns)
+
+
+class TestAtpgVectorConformance:
+    """ATPG × fault-sim conformance: a cube any engine generates must
+    detect its target fault under *every* simulation kernel.
+
+    This closes the loop between the two halves of the toolkit — if the
+    packed python kernel and the numpy uint64-lane kernel disagreed about
+    an ATPG vector, either the engine's implication or a kernel's fault
+    injection would be wrong.  Hypothesis drives structurally diverse
+    netlists (muxes, dangling cones, redundant logic) through all four
+    engines.
+    """
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(netlist=small_netlists(), data=st.data())
+    def test_every_cube_detects_under_every_kernel(self, netlist, data):
+        import random as _random
+
+        from repro.atpg import ENGINE_NAMES, make_engine
+        from repro.atpg.engine import x_fill
+
+        netlist.finalize()
+        faults, _ = collapse_faults(netlist, full_fault_list(netlist))
+        simulators = {
+            kernel: FaultSimulator(netlist, cache=None, kernel=kernel)
+            for kernel in KERNELS
+        }
+        fill_seed = data.draw(st.integers(min_value=0, max_value=2**16))
+        for engine_name in ENGINE_NAMES:
+            engine = make_engine(engine_name, netlist, backtrack_limit=256)
+            for fault in faults:
+                outcome = engine.generate(fault)
+                if not outcome.detected:
+                    continue
+                rng = _random.Random(fill_seed)
+                pattern = x_fill(outcome.cube, rng, "random")
+                for kernel, simulator in simulators.items():
+                    result = simulator.simulate([pattern], [fault], drop=True)
+                    assert fault in result.detected, (
+                        f"{engine_name} cube missed {fault.describe(netlist)} "
+                        f"under kernel={kernel}"
+                    )

@@ -121,6 +121,32 @@ class TestTimeBudget:
                 _confirm(netlist, fault, outcome.cube)
                 break
 
+    def test_first_tripped_budget_wins(self):
+        """Both budgets exhausted in the same search step: the abort must
+        name the budget that tripped *first*.  An expired wall clock beats
+        the backtrack counter; with wall clock to spare, the backtrack
+        limit is the tripped budget."""
+        netlist = generators.random_resistant(14, cones=3)
+        faults, _ = collapse_faults(netlist, full_fault_list(netlist))
+        both_zero = Podem(netlist, backtrack_limit=0, time_budget_s=0.0)
+        outcomes = [both_zero.generate(f) for f in faults]
+        aborted = [o for o in outcomes if o.status == "aborted"]
+        assert aborted and all(o.reason == "time" for o in aborted)
+        clock_to_spare = Podem(
+            netlist, backtrack_limit=0, time_budget_s=3600.0
+        )
+        outcomes = [clock_to_spare.generate(f) for f in faults]
+        aborted = [o for o in outcomes if o.status == "aborted"]
+        assert aborted and all(o.reason == "backtracks" for o in aborted)
+
+    def test_abort_reason_unit(self, c17):
+        import time
+
+        podem = Podem(c17)
+        assert podem._abort_reason(None) == "backtracks"
+        assert podem._abort_reason(time.perf_counter() - 1.0) == "time"
+        assert podem._abort_reason(time.perf_counter() + 60.0) == "backtracks"
+
     def test_no_budget_is_unchanged(self, c17):
         with_budget = Podem(c17, time_budget_s=3600.0)
         without = Podem(c17)
